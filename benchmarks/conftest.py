@@ -1,0 +1,27 @@
+"""Benchmark fixtures: session-cached heavy runs shared across benches.
+
+Every benchmark regenerates one paper artifact. Runs are deterministic, so
+each is executed exactly once (pedantic, one round); pytest-benchmark
+records the wall time of regenerating the artifact, and the test body
+asserts the paper's qualitative shape on the result.
+"""
+
+import pytest
+
+from repro.experiments import boutique_exp
+
+BOUTIQUE_SCALE = 0.05
+BOUTIQUE_DURATION = 30.0
+
+
+@pytest.fixture(scope="session")
+def boutique_comparison():
+    """All four planes over the boutique mix, shared by Figs 9/10 + Table 5."""
+    return boutique_exp.BoutiqueComparison().run_all(
+        scale=BOUTIQUE_SCALE, duration=BOUTIQUE_DURATION
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Deterministic simulation: one round, one iteration."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

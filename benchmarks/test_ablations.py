@@ -1,0 +1,33 @@
+"""Bench: ablations of SPRIGHT's design choices (DESIGN.md index)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_dfr_ablation(benchmark):
+    result = run_once(benchmark, ablations.run_dfr_ablation, duration=1.5)
+    # Routing every hop through the gateway roughly doubles latency and
+    # halves throughput on a 2-function chain.
+    assert result["speedup"] > 1.3
+    assert result["mediated"].rps < result["dfr"].rps
+
+
+def test_security_filtering_is_cheap(benchmark):
+    result = run_once(benchmark, ablations.run_security_ablation, duration=1.5)
+    # §3.4's filtering runs a ~15-instruction eBPF program per descriptor:
+    # its latency cost must be well under a microsecond per request.
+    assert abs(result["latency_cost"]) < 0.01  # ms
+
+
+def test_hugepage_ablation(benchmark):
+    result = run_once(benchmark, ablations.run_hugepage_ablation)
+    for size, data in result.items():
+        assert data["hugepages_us"] < data["4k_pages_us"], size
+        assert 0.0 < data["saving"] < 0.5
+
+
+def test_lb_ablation(benchmark):
+    result = run_once(benchmark, ablations.run_lb_ablation, duration=2.0)
+    # Residual-capacity balancing should not lose to round robin on tails.
+    assert result["residual"]["p95_ms"] <= result["round_robin"]["p95_ms"] * 1.25

@@ -1,0 +1,41 @@
+"""Bench E6: regenerate Fig 10 (boutique per-chain CDFs, latency, CPU)."""
+
+from conftest import run_once
+
+from repro.experiments import boutique_exp
+from repro.workloads import boutique
+
+
+def test_fig10_boutique_detail(benchmark, boutique_comparison):
+    comparison = run_once(benchmark, lambda: boutique_comparison)
+    print()
+    print(boutique_exp.format_fig10(comparison))
+
+    knative = comparison.runs["knative"]
+    grpc = comparison.runs["grpc"]
+    s_spright = comparison.runs["s-spright"]
+    d_spright = comparison.runs["d-spright"]
+
+    # (a)/(b): Knative's tail dwarfs gRPC's (paper: 693 ms vs 141 ms p95).
+    assert knative.recorder.summary("").p95 > 2.0 * grpc.recorder.summary("").p95
+
+    # (c): both SPRIGHT variants sit far below both baselines.
+    for run in (s_spright, d_spright):
+        assert run.recorder.summary("").p95 < grpc.recorder.summary("").p95
+
+    # Checkout (Ch-6, the longest chain) is the slowest chain everywhere.
+    for run in comparison.runs.values():
+        if run.recorder.count("Ch-6") >= 5 and run.recorder.count("Ch-2") >= 5:
+            assert (
+                run.chain_summary("Ch-6").mean > run.chain_summary("Ch-2").mean
+            ), run.plane
+
+    # (g)-(i): Knative burns CPU on proxies; S-SPRIGHT's functions dominate
+    # its own (small) footprint; D pays the polling floor.
+    assert knative.cpu("qp") + knative.cpu("gw") > 0.5 * knative.cpu("fn")
+    assert d_spright.cpu("fn") > 3.0 * s_spright.cpu("fn")
+
+    # Every chain class saw traffic in every plane.
+    for run in comparison.runs.values():
+        seen = sum(1 for chain in boutique.CALL_SEQUENCES if run.recorder.count(chain))
+        assert seen == len(boutique.CALL_SEQUENCES), run.plane

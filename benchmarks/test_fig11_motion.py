@@ -1,0 +1,32 @@
+"""Bench E8: regenerate Fig 11 (motion detection: cold start vs warm)."""
+
+from conftest import run_once
+
+from repro.experiments import motion_exp
+
+DURATION = 1800.0  # half the paper's hour; same burst/idle structure
+
+
+def test_fig11_motion(benchmark):
+    runs = run_once(benchmark, motion_exp.run_fig11, duration=DURATION)
+    print()
+    print(motion_exp.format_report(runs))
+
+    knative = runs["knative"]
+    s_spright = runs["s-spright"]
+
+    # Both planes saw the same trace.
+    assert knative.recorder.count("") == s_spright.recorder.count("")
+
+    # Knative pays multi-second cold-start tails (paper: up to ~9 s).
+    assert knative.cold_starts > 0
+    assert knative.max_latency_s() > 2.0
+    # S-SPRIGHT never cold-starts and stays in the low milliseconds.
+    assert s_spright.cold_starts == 0
+    assert s_spright.max_latency_s() < 0.05
+    assert s_spright.latency_ms("p99") < 10.0
+
+    # Keeping SPRIGHT's pods warm costs (almost) nothing while idle.
+    assert s_spright.fn_cpu_percent() < 1.0
+    # Knative's pod churn (startup + termination) burns real CPU.
+    assert knative.fn_cpu_percent() + knative.qp_cpu_percent() > 2.0

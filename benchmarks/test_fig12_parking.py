@@ -1,0 +1,29 @@
+"""Bench E9: regenerate Fig 12 (parking: pre-warmed Knative vs S-SPRIGHT)."""
+
+from conftest import run_once
+
+from repro.experiments import parking_exp
+
+
+def test_fig12_parking(benchmark):
+    runs = run_once(benchmark, parking_exp.run_fig12, duration=700.0)
+    print()
+    print(parking_exp.format_report(runs))
+
+    knative = runs["knative"]
+    s_spright = runs["s-spright"]
+
+    # Same snapshots were processed by both planes.
+    assert knative.recorder.count("") == s_spright.recorder.count("")
+
+    # Paper: S-SPRIGHT saves ~41% CPU over the 700 s experiment.
+    cpu_saving = 1 - s_spright.total_cpu_core_seconds() / knative.total_cpu_core_seconds()
+    assert 0.2 < cpu_saving < 0.7, cpu_saving
+
+    # Paper: ~16% lower response time (mean and p95).
+    mean_saving = 1 - s_spright.latency_ms("mean") / knative.latency_ms("mean")
+    assert 0.05 < mean_saving < 0.5, mean_saving
+    assert s_spright.latency_ms("p95") < knative.latency_ms("p95")
+
+    # Latency is dominated by the 435 ms VGG-16 stage on both planes.
+    assert s_spright.latency_ms("mean") > 435.0

@@ -1,0 +1,30 @@
+"""Bench E2: regenerate Fig 2 (sidecar proxy comparison)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_sidecars(benchmark):
+    results = run_once(benchmark, fig2.run_fig2, duration=3.0)
+    print()
+    print(fig2.format_report(results))
+    by_name = {result.name: result for result in results}
+    null = by_name["Null"]
+
+    # Paper: equipping a sidecar costs 3x-7x in RPS, latency, and cycles.
+    for name in ("QP", "Envoy", "OFW"):
+        sidecar = by_name[name]
+        rps_penalty = null.rps / sidecar.rps
+        latency_penalty = sidecar.mean_latency_ms / null.mean_latency_ms
+        cycles_penalty = sum(sidecar.cycles_per_request.values()) / sum(
+            null.cycles_per_request.values()
+        )
+        assert 2.0 < rps_penalty < 10.0, (name, rps_penalty)
+        assert 2.0 < latency_penalty < 14.0, (name, latency_penalty)
+        assert 2.0 < cycles_penalty < 10.0, (name, cycles_penalty)
+
+    # Envoy is the heaviest sidecar; the kernel stack carries a large share.
+    assert by_name["Envoy"].rps < by_name["QP"].rps
+    envoy_cycles = by_name["Envoy"].cycles_per_request
+    assert envoy_cycles["kernel stack"] > 0.2 * envoy_cycles["sidecar container"]

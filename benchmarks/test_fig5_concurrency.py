@@ -1,0 +1,39 @@
+"""Bench E3/E11: regenerate Fig 5 (event-based vs polling shared memory)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+LEVELS = (1, 8, 32, 128)
+
+
+def test_fig5_concurrency_sweep(benchmark):
+    result = run_once(
+        benchmark, fig5.run_fig5, levels=LEVELS, duration=1.0
+    )
+    print()
+    print(fig5.format_report(result))
+
+    knative_32 = result.at("knative", 32)
+    s_32 = result.at("s-spright", 32)
+    d_32 = result.at("d-spright", 32)
+
+    # §3.2.2: S and D deliver ~5.7x Knative's RPS at concurrency 32.
+    assert s_32.rps / knative_32.rps > 3.0
+    assert d_32.rps / knative_32.rps > 3.0
+    # Knative's latency is several times higher.
+    assert knative_32.mean_latency_ms / s_32.mean_latency_ms > 3.0
+
+    # D-SPRIGHT edges out S-SPRIGHT on peak throughput (paper: 1.2x) ...
+    s_peak = max(point.rps for point in result.series("s-spright"))
+    d_peak = max(point.rps for point in result.series("d-spright"))
+    assert 0.95 < d_peak / s_peak < 1.6
+
+    # ... but S-SPRIGHT's CPU is load-proportional while D pays a poll floor.
+    s_idle = result.at("s-spright", 1)
+    d_idle = result.at("d-spright", 1)
+    assert d_idle.total_cpu / s_idle.total_cpu > 5.0
+    assert s_idle.total_cpu < 100.0  # well under one core at concurrency 1
+
+    # Knative's queue proxies dominate its CPU (paper: ~70%).
+    assert knative_32.queue_proxy_cpu / knative_32.total_cpu > 0.5

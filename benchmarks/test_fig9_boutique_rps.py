@@ -1,0 +1,40 @@
+"""Bench E5: regenerate Fig 9 (boutique RPS time series, four planes).
+
+This bench builds the shared boutique comparison (also consumed by the
+Fig 10 and Table 5 benches); the pedantic timing covers all four plane runs.
+"""
+
+from conftest import BOUTIQUE_DURATION, BOUTIQUE_SCALE, run_once
+
+from repro.experiments import boutique_exp
+
+
+def test_fig9_boutique_rps(benchmark):
+    comparison = run_once(
+        benchmark,
+        lambda: boutique_exp.BoutiqueComparison().run_all(
+            scale=BOUTIQUE_SCALE, duration=BOUTIQUE_DURATION
+        ),
+    )
+    print()
+    print(boutique_exp.format_fig9(comparison, bucket=10.0))
+
+    knative = comparison.runs["knative"]
+    s_spright = comparison.runs["s-spright"]
+    d_spright = comparison.runs["d-spright"]
+
+    # SPRIGHT sustains 5x the users: its RPS exceeds Knative's.
+    assert s_spright.rps > 1.5 * knative.rps
+    # D and S track each other closely (paper: overlapping curves).
+    assert abs(d_spright.rps - s_spright.rps) / s_spright.rps < 0.25
+
+    # SPRIGHT's late-window RPS is stable (no overload collapse): completed
+    # buckets in the last third stay within half of the series peak.
+    series = [
+        (t, rps)
+        for t, rps in s_spright.rps_series(bucket=10.0)
+        if t + 10.0 <= BOUTIQUE_DURATION  # only fully-elapsed buckets
+    ]
+    tail = [rps for t, rps in series if t >= BOUTIQUE_DURATION * 2 / 3 - 10.0]
+    peak = max(rps for _, rps in series)
+    assert tail and all(rps > 0.5 * peak for rps in tail)

@@ -1,0 +1,26 @@
+"""Bench E1: regenerate Table 1 (Knative per-request overhead audit)."""
+
+from conftest import run_once
+
+from repro.audit import OverheadKind
+from repro.experiments import audits
+
+PAPER_TOTALS = {
+    OverheadKind.COPY: 15,
+    OverheadKind.CONTEXT_SWITCH: 15,
+    OverheadKind.INTERRUPT: 25,
+    OverheadKind.PROTOCOL_PROCESSING: 12,
+    OverheadKind.SERIALIZATION: 8,
+    OverheadKind.DESERIALIZATION: 7,
+}
+
+
+def test_table1_audit(benchmark):
+    table = run_once(benchmark, audits.run_table1)
+    print()
+    print(table.render())
+    for kind, expected in PAPER_TOTALS.items():
+        assert table.total(kind) == expected, kind
+    # Takeaway #1: ~80% of copies/switches happen within the chain.
+    chain_share = table.chain_total(OverheadKind.COPY) / table.total(OverheadKind.COPY)
+    assert abs(chain_share - 0.8) < 1e-9

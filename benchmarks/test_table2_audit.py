@@ -1,0 +1,31 @@
+"""Bench E4: regenerate Table 2 (SPRIGHT per-request overhead audit)."""
+
+from conftest import run_once
+
+from repro.audit import OverheadKind
+from repro.experiments import audits
+
+PAPER_TOTALS = {
+    OverheadKind.COPY: 3,
+    OverheadKind.CONTEXT_SWITCH: 7,
+    OverheadKind.INTERRUPT: 11,
+    OverheadKind.PROTOCOL_PROCESSING: 3,
+    OverheadKind.SERIALIZATION: 2,
+    OverheadKind.DESERIALIZATION: 1,
+}
+
+
+def test_table2_audit(benchmark):
+    table = run_once(benchmark, audits.run_table2)
+    print()
+    print(table.render())
+    for kind, expected in PAPER_TOTALS.items():
+        assert table.total(kind) == expected, kind
+    # The headline: zero copies / protocol work / (de)serialization in-chain.
+    for kind in (
+        OverheadKind.COPY,
+        OverheadKind.PROTOCOL_PROCESSING,
+        OverheadKind.SERIALIZATION,
+        OverheadKind.DESERIALIZATION,
+    ):
+        assert table.chain_total(kind) == 0, kind

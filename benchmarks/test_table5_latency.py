@@ -1,0 +1,28 @@
+"""Bench E7: regenerate Table 5 (boutique latency percentiles per plane)."""
+
+from conftest import run_once
+
+from repro.experiments import boutique_exp
+
+
+def test_table5_latency(benchmark, boutique_comparison):
+    comparison = run_once(benchmark, lambda: boutique_comparison)
+    print()
+    print(boutique_exp.format_table5(comparison))
+
+    summaries = {
+        plane: run.recorder.summary("") for plane, run in comparison.runs.items()
+    }
+
+    # Paper's ordering at 5K: Knative (693 ms p95) >> gRPC (141 ms)
+    # >> D-SPRIGHT (11.1 ms) ~ S-SPRIGHT (13.4 ms).
+    assert summaries["knative"].p95 > summaries["grpc"].p95
+    assert summaries["grpc"].p95 > summaries["s-spright"].p95
+    assert summaries["grpc"].p95 > summaries["d-spright"].p95
+
+    # Knative's p95 advantage over SPRIGHT is an order of magnitude.
+    assert summaries["knative"].p95 / summaries["s-spright"].p95 > 10.0
+
+    # p99 >= p95 >= mean sanity on every plane.
+    for plane, summary in summaries.items():
+        assert summary.p99 >= summary.p95 >= summary.p50, plane

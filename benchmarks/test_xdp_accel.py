@@ -1,0 +1,20 @@
+"""Bench E10: regenerate the §3.5 claim (XDP/TC external-path acceleration)."""
+
+from conftest import run_once
+
+from repro.experiments import xdp_exp
+
+
+def test_xdp_acceleration(benchmark):
+    comparison = run_once(
+        benchmark, xdp_exp.run_xdp_comparison, concurrency=64, duration=2.0
+    )
+    print()
+    print(xdp_exp.format_report(comparison))
+
+    # Paper: 1.3x throughput and ~20% latency reduction under peak load.
+    assert 1.05 < comparison["throughput_gain"] < 1.6
+    assert 0.10 < comparison["latency_reduction"] < 0.45
+    # Acceleration must not help by doing less work at the gateway; it wins
+    # by skipping the stack, not by dropping requests.
+    assert comparison["accelerated"].rps > comparison["baseline"].rps

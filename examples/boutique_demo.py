@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Online boutique: four dataplanes, one workload (the paper's §4.2.1).
+
+Deploys the 10-service online boutique on Knative, plain gRPC, D-SPRIGHT,
+and S-SPRIGHT, drives the Table 3 request mix with Locust-style users, and
+prints a Table 5-shaped latency comparison plus CPU breakdowns.
+
+Run:  python examples/boutique_demo.py [--scale 0.1] [--duration 60]
+"""
+
+import argparse
+
+from repro.experiments import boutique_exp
+from repro.stats import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--duration", type=float, default=40.0)
+    args = parser.parse_args()
+
+    rows = []
+    for plane in ("knative", "grpc", "s-spright", "d-spright"):
+        run = boutique_exp.run_boutique(
+            plane, scale=args.scale, duration=args.duration
+        )
+        summary = run.recorder.summary("")
+        rows.append(
+            [
+                plane,
+                run.users,
+                f"{run.rps:.0f}",
+                summary.mean * 1e3,
+                summary.p95 * 1e3,
+                summary.p99 * 1e3,
+                round(run.cpu("gw") + run.cpu("qp")),
+                round(run.cpu("fn")),
+            ]
+        )
+        print(f"[{plane}] done: {summary.count} requests")
+
+    print()
+    print(
+        format_table(
+            ["plane", "users", "RPS", "mean ms", "p95 ms", "p99 ms", "proxies %", "functions %"],
+            rows,
+            title=f"Online boutique @ scale={args.scale} (Table 5 layout)",
+        )
+    )
+    print(
+        "\nExpected shape (paper): Knative >> gRPC >> D-SPRIGHT ~ S-SPRIGHT in "
+        "latency; S-SPRIGHT lowest CPU, D-SPRIGHT pays a polling floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

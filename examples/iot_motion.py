@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""IoT motion detection over MQTT, through the gateway's protocol adapter.
+
+Demonstrates §3.6: MQTT PUBLISH packets arrive at the SPRIGHT gateway, the
+*in-gateway* event-driven adapter converts them to CloudEvents (no separate
+adapter pod, no extra stack traversal), and the payload drives the
+sensor -> actuator chain. Also contrasts Knative's cold-start behaviour on
+the same intermittent trace (the paper's Fig 11 scenario).
+
+Run:  python examples/iot_motion.py
+"""
+
+import json
+
+from repro.dataplane import SSprightDataplane
+from repro.dataplane.base import RequestClass
+from repro.experiments import motion_exp
+from repro.protocols import ConnectPacket, PublishPacket
+from repro.runtime import WorkerNode
+from repro.workloads.motion import motion_functions
+
+
+def adapter_demo() -> None:
+    print("=== MQTT -> CloudEvent adaptation inside the gateway ===")
+    node = WorkerNode()
+    plane = SSprightDataplane(node, motion_functions(), chain_name="iot")
+    plane.deploy()
+
+    # Stateful L7: the gateway (not the adapter) owns the MQTT session.
+    connack = plane.adapter_hook.sessions.connect(
+        ConnectPacket(client_id="hallway-sensor").encode()
+    )
+    print(f"CONNECT handled at gateway, CONNACK bytes: {connack.hex()}")
+
+    publish = PublishPacket(
+        topic="sensors/motion/hall",
+        payload=json.dumps({"sensor": 7, "motion": True}).encode(),
+        qos=1,
+        packet_id=42,
+    )
+    request_class = RequestClass(
+        name="motion", sequence=["sensor", "actuator"], payload_size=64
+    )
+    results = {}
+
+    def driver(env):
+        request, ack = yield from plane.handle_raw(
+            publish.encode(), "mqtt", request_class
+        )
+        results["request"] = request
+        results["ack"] = ack
+
+    node.env.process(driver(node.env))
+    node.run(until=1.0)
+
+    request = results["request"]
+    print(f"chain response      : {request.response!r}")
+    print(f"end-to-end latency  : {request.latency * 1e3:.3f} ms")
+    print(f"PUBACK returned     : {results['ack'].hex()} (QoS 1 ack)")
+    print(f"adapters loaded     : {plane.adapter_hook.loaded()}")
+    print()
+
+
+def cold_start_demo() -> None:
+    print("=== Fig 11: cold starts vs always-warm (30 min trace) ===")
+    runs = motion_exp.run_fig11(duration=1800.0)
+    print(motion_exp.format_report(runs))
+    knative = runs["knative"]
+    spright = runs["s-spright"]
+    print(
+        f"\nKnative's worst event waited {knative.max_latency_s():.1f} s on pod "
+        f"startup ({knative.cold_starts} cold starts); S-SPRIGHT stayed at "
+        f"{spright.latency_ms('p99'):.2f} ms p99 with zero cold starts, because "
+        "its warm pods cost no CPU while idle."
+    )
+
+
+if __name__ == "__main__":
+    adapter_demo()
+    cold_start_demo()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Where do the milliseconds go? Per-request waterfalls across dataplanes.
+
+Sends one traced request through Knative, gRPC mode, and S-SPRIGHT, and
+renders each journey as an ASCII waterfall — making the paper's Table 1/2
+story visible per request: in Knative the dataplane (broker hops, sidecars,
+kernel crossings) swamps the actual function work; in SPRIGHT the functions
+dominate their own latency.
+
+Run:  python examples/latency_breakdown.py
+"""
+
+from repro.dataplane import (
+    GrpcDataplane,
+    KnativeDataplane,
+    Request,
+    RequestClass,
+    SSprightDataplane,
+)
+from repro.runtime import FunctionSpec, WorkerNode
+from repro.stats import overhead_time, service_time, waterfall
+
+
+def trace_one(plane_cls):
+    node = WorkerNode()
+    functions = [
+        FunctionSpec(name="detect", service_time=300e-6, service_time_cv=0.0),
+        FunctionSpec(name="annotate", service_time=150e-6, service_time_cv=0.0),
+    ]
+    plane = plane_cls(node, functions)
+    plane.deploy()
+    request = Request(
+        request_class=RequestClass(
+            name="inference", sequence=["detect", "annotate"], payload_size=1024
+        ),
+        payload=b"img" * 342,
+        created_at=0.0,
+    ).enable_timeline()
+
+    def driver(env):
+        yield env.process(plane.submit(request))
+
+    node.env.process(driver(node.env))
+    node.run(until=2.0)
+    return request
+
+
+def main() -> None:
+    for plane_cls in (KnativeDataplane, GrpcDataplane, SSprightDataplane):
+        request = trace_one(plane_cls)
+        total_ms = request.latency * 1e3
+        served = service_time(request.timeline)
+        overhead = overhead_time(
+            request.timeline, request.created_at, request.completed_at
+        )
+        print(f"=== {plane_cls.__name__} ===")
+        print(waterfall(request.timeline, request.created_at))
+        print(
+            f"function work: {served * 1e3:.3f} ms "
+            f"({served / request.latency * 100:.0f}%)   "
+            f"dataplane overhead: {overhead * 1e3:.3f} ms "
+            f"({overhead / request.latency * 100:.0f}%)   "
+            f"total: {total_ms:.3f} ms"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Automated parking garage: image detection & charging (the paper's Fig 12).
+
+A camera sweeps 164 spots every 240 s; each ~3 KB snapshot flows through
+plate detection (435 ms of VGG-16-grade CPU), plate search, optional
+persist, and charging — Table 4's service times. Compares pre-warmed
+Knative against always-warm S-SPRIGHT and prints the charging ledger the
+functions actually built up in their pod-local state.
+
+Run:  python examples/parking_garage.py
+"""
+
+from repro.experiments import parking_exp
+from repro.workloads.parking import ParkingTraceParams
+
+
+def main() -> None:
+    params = ParkingTraceParams(duration=700.0)
+    print("Running 700 s of garage operation on both planes...\n")
+    runs = parking_exp.run_fig12(duration=700.0)
+    print(parking_exp.format_report(runs))
+
+    spright = runs["s-spright"]
+    knative = runs["knative"]
+    cpu_saving = 1 - spright.total_cpu_core_seconds() / knative.total_cpu_core_seconds()
+    print(
+        f"\nPaper's claim: ~41% CPU saving and ~16% lower response time for "
+        f"S-SPRIGHT over pre-warmed Knative. Measured here: "
+        f"{cpu_saving * 100:.0f}% CPU saving."
+    )
+
+    # Inspect the charging function's real application state.
+    charging_pods = spright.plane_obj.deployments["charging"].servable_pods()
+    ledger = {}
+    for pod in charging_pods:
+        ledger.update(pod.context.get("ledger", {}))
+    billed = sorted(ledger.items())
+    print(f"\nCharging ledger: {len(billed)} plates billed. First five:")
+    for plate, amount in billed[:5]:
+        print(f"  {plate}: ${amount:.2f}")
+
+    detection = spright.recorder.summary("Ch-2")
+    print(
+        f"\nFast path (known plate, Ch-2): mean {detection.mean:.3f} s across "
+        f"{detection.count} snapshots — dominated by the 435 ms VGG-16 stage, "
+        "as Table 4 dictates."
+    )
+
+
+if __name__ == "__main__":
+    main()

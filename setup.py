@@ -1,0 +1,4 @@
+"""Legacy-path setup shim (environment lacks the `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""SPRIGHT (SIGCOMM 2022) reproduction.
+
+A full-node discrete-event simulation of the SPRIGHT serverless dataplane —
+eBPF-based event-driven shared-memory processing — together with the
+baselines it is evaluated against (Knative, direct gRPC) and every substrate
+the paper depends on (a small working eBPF stack, DPDK-like shared memory,
+a Knative-ish orchestration layer, byte-level protocol codecs).
+
+Typical entry points::
+
+    from repro.runtime import WorkerNode, FunctionSpec
+    from repro.dataplane import SSprightDataplane, RequestClass
+    from repro.experiments import fig5, boutique_exp   # paper artifacts
+
+See README.md for the tour, DESIGN.md for the substitution rationale, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "SPRIGHT: Extracting the Server from Serverless Computing! "
+    "High-performance eBPF-based Event-driven, Shared-memory Processing. "
+    "Qi, Monis, Zeng, Wang, Ramakrishnan. SIGCOMM 2022."
+)
+
+from . import audit, dataplane, experiments, kernel, mem, protocols, runtime, simcore, stats, workloads
+
+__all__ = [
+    "__paper__",
+    "__version__",
+    "audit",
+    "dataplane",
+    "experiments",
+    "kernel",
+    "mem",
+    "protocols",
+    "runtime",
+    "simcore",
+    "stats",
+    "workloads",
+]

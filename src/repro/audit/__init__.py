@@ -1,0 +1,19 @@
+"""Overhead auditing framework (reproduces Tables 1 and 2).
+
+The paper audits each data-pipeline step ①-⑤ of a '1 broker/front-end +
+2 functions' chain for six overhead classes. Here, the counts are not typed
+in by hand: the simulated components report every operation they perform
+through a :class:`RequestTrace`, and the tables are aggregations of real
+execution traces — so if a dataplane implementation changes, its audit
+changes with it.
+"""
+
+from .auditor import (
+    AuditTable,
+    Auditor,
+    OverheadKind,
+    RequestTrace,
+    Stage,
+)
+
+__all__ = ["AuditTable", "Auditor", "OverheadKind", "RequestTrace", "Stage"]

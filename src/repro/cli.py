@@ -1,0 +1,154 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Examples::
+
+    spright-repro tables            # Tables 1 and 2 (overhead audits)
+    spright-repro fig2              # sidecar comparison
+    spright-repro fig5 --max-concurrency 128
+    spright-repro boutique --scale 0.1 --duration 60
+    spright-repro motion --duration 1800
+    spright-repro parking
+    spright-repro xdp
+    spright-repro ablations
+    spright-repro all               # everything, at smoke-test scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ablations,
+    audits,
+    boutique_exp,
+    fig2,
+    fig5,
+    motion_exp,
+    parking_exp,
+    xdp_exp,
+)
+
+
+def _cmd_tables(_args) -> str:
+    return audits.format_report()
+
+
+def _cmd_fig2(args) -> str:
+    return fig2.format_report(fig2.run_fig2(duration=args.duration or 5.0))
+
+
+def _cmd_fig5(args) -> str:
+    result = fig5.run_fig5(
+        max_concurrency=args.max_concurrency, duration=args.duration or 1.0
+    )
+    return fig5.format_report(result)
+
+
+def _cmd_boutique(args) -> str:
+    comparison = boutique_exp.BoutiqueComparison().run_all(
+        scale=args.scale, duration=args.duration or 60.0
+    )
+    return "\n\n".join(
+        [
+            boutique_exp.format_fig9(comparison, bucket=10.0),
+            boutique_exp.format_fig10(comparison),
+            boutique_exp.format_table5(comparison),
+        ]
+    )
+
+
+def _cmd_motion(args) -> str:
+    runs = motion_exp.run_fig11(duration=args.duration or 3600.0)
+    return motion_exp.format_report(runs)
+
+
+def _cmd_parking(args) -> str:
+    runs = parking_exp.run_fig12(duration=args.duration or 700.0)
+    return parking_exp.format_report(runs)
+
+
+def _cmd_xdp(args) -> str:
+    return xdp_exp.format_report(
+        xdp_exp.run_xdp_comparison(duration=args.duration or 2.0)
+    )
+
+
+def _cmd_ablations(_args) -> str:
+    return ablations.format_report()
+
+
+def _cmd_all(args) -> str:
+    sections = [
+        _cmd_tables(args),
+        _cmd_fig2(argparse.Namespace(duration=2.0)),
+        _cmd_fig5(argparse.Namespace(max_concurrency=64, duration=1.0)),
+        _cmd_motion(argparse.Namespace(duration=1200.0)),
+        _cmd_parking(argparse.Namespace(duration=700.0)),
+        _cmd_xdp(argparse.Namespace(duration=1.0)),
+        _cmd_ablations(args),
+    ]
+    return "\n\n".join(sections)
+
+
+COMMANDS = {
+    "tables": _cmd_tables,
+    "fig2": _cmd_fig2,
+    "fig5": _cmd_fig5,
+    "boutique": _cmd_boutique,
+    "motion": _cmd_motion,
+    "parking": _cmd_parking,
+    "xdp": _cmd_xdp,
+    "ablations": _cmd_ablations,
+    "all": _cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spright-repro",
+        description="Regenerate the SPRIGHT paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument(
+        "--duration", type=float, default=None, help="simulated seconds per run"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="boutique scale factor: users and cores shrink together",
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=512, help="fig5 sweep ceiling"
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="also write the report (and a JSON copy) under this directory",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    report = COMMANDS[args.command](args)
+    print(report)
+    if args.out:
+        from pathlib import Path
+
+        from .stats import write_json
+
+        directory = Path(args.out)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{args.command}.txt").write_text(report + "\n")
+        write_json(
+            directory / f"{args.command}.json",
+            {"command": args.command, "report": report},
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Dataplanes: Knative baseline, gRPC direct mode, S-/D-SPRIGHT, sidecars."""
+
+from .base import Dataplane, ProxyComponent, Request, RequestClass
+from .grpc_mode import GrpcDataplane, GrpcParams
+from .knative import KnativeDataplane, KnativeParams, nginx_function
+from .legs import chain_step_stage, external_arrival, leg_kernel, leg_localhost
+from .sidecars import (
+    ALL_SIDECARS,
+    ENVOY,
+    NULL_SIDECAR,
+    OF_WATCHDOG,
+    QUEUE_PROXY,
+    SidecarPod,
+    SidecarSpec,
+    sidecar_by_name,
+)
+from .spright import DSprightDataplane, SprightParams, SSprightDataplane
+
+__all__ = [
+    "ALL_SIDECARS",
+    "Dataplane",
+    "DSprightDataplane",
+    "ENVOY",
+    "GrpcDataplane",
+    "GrpcParams",
+    "KnativeDataplane",
+    "KnativeParams",
+    "NULL_SIDECAR",
+    "OF_WATCHDOG",
+    "ProxyComponent",
+    "QUEUE_PROXY",
+    "Request",
+    "RequestClass",
+    "SidecarPod",
+    "SidecarSpec",
+    "SprightParams",
+    "SSprightDataplane",
+    "chain_step_stage",
+    "external_arrival",
+    "leg_kernel",
+    "leg_localhost",
+    "nginx_function",
+    "sidecar_by_name",
+]

@@ -1,0 +1,234 @@
+"""Shared dataplane machinery: proxies, request classes, the plane interface.
+
+A *request class* carries the call sequence through the chain (Table 3's
+"call sequence", e.g. Ch-1's ``1,2,1,3,1,...``); a dataplane executes that
+sequence with its own transport (broker hops, direct gRPC, descriptor
+redirects) and its own overheads — the differences the paper measures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..audit import RequestTrace
+from ..kernel import KernelOps
+from ..runtime import Deployment, FunctionSpec, Kubelet, Pod
+from ..simcore import CpuSet, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime import WorkerNode
+
+
+@dataclass
+class RequestClass:
+    """One request type: its invocation sequence and payload sizes."""
+
+    name: str
+    sequence: list[str]          # function names, in invocation order
+    payload_size: int = 256
+    response_size: int = 1024
+    weight: float = 1.0
+    topic: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.sequence:
+            raise ValueError(f"request class {self.name!r} has an empty sequence")
+
+
+class OverloadError(Exception):
+    """A component's queue limit was exceeded; the request is shed (503)."""
+
+
+@dataclass
+class Request:
+    """A single in-flight request."""
+
+    request_class: RequestClass
+    payload: bytes
+    created_at: float
+    trace: Optional[RequestTrace] = None
+    response: Optional[bytes] = None
+    completed_at: Optional[float] = None
+    failed: bool = False
+    # Milestone timeline (name, sim time); populated when the request is
+    # created with ``record_timeline=True`` via enable_timeline().
+    timeline: Optional[list] = None
+
+    def enable_timeline(self) -> "Request":
+        self.timeline = []
+        return self
+
+    def mark(self, milestone: str, now: float) -> None:
+        """Stamp a milestone (no-op unless the timeline is enabled)."""
+        if self.timeline is not None:
+            self.timeline.append((milestone, now))
+
+    @property
+    def latency(self) -> float:
+        if self.completed_at is None:
+            raise ValueError("request not completed")
+        return self.completed_at - self.created_at
+
+
+class ProxyComponent:
+    """A proxy (ingress gateway, broker, SPRIGHT gateway) with CPU placement.
+
+    ``pinned_cores``: run on a private core set (the paper pins both the
+    SPRIGHT gateway and the NGINX front-end to two cores); ``None`` floats
+    the work on the node's shared cores (Istio in the boutique experiments).
+    ``overhead_cpu`` is per-traversal background CPU (metrics, buffering,
+    proxy bookkeeping) — charged, but off the critical path.
+    """
+
+    def __init__(
+        self,
+        node: "WorkerNode",
+        tag: str,
+        pinned_cores: Optional[int] = None,
+        concurrency: int = 4096,
+        overhead_cpu: float = 0.0,
+        path_cpu: float = 0.0,
+        queue_limit: Optional[int] = None,
+    ) -> None:
+        self.node = node
+        self.tag = tag
+        self.overhead_cpu = overhead_cpu
+        self.path_cpu = path_cpu
+        self.queue_limit = queue_limit
+        self.shed = 0
+        if pinned_cores is not None:
+            self.cpu = CpuSet(
+                node.env,
+                cores=pinned_cores,
+                freq_hz=node.config.costs.cpu_freq_hz,
+                bucket_width=node.config.cpu_bucket_width,
+                accounting=node.cpu.accounting,
+            )
+        else:
+            self.cpu = node.cpu
+        self.ops = KernelOps(node.env, self.cpu, node.config.costs, tag)
+        self._limiter = Resource(node.env, capacity=concurrency)
+        self.traversals = 0
+
+    def traverse(self, admission: bool = False):
+        """One pass through the proxy: path CPU + background CPU (generator).
+
+        With a ``queue_limit``, *admission* traversals beyond the backlog
+        bound are shed (an :class:`OverloadError` the dataplane turns into a
+        failed request) — a proxy returning 503 at the front door rather
+        than queueing forever. Mid-chain traversals of already-admitted
+        requests are never shed.
+        """
+        if admission and self.queue_limit is not None:
+            backlog = self._limiter.count + self._limiter.queue_length
+            if backlog >= self.queue_limit:
+                self.shed += 1
+                raise OverloadError(
+                    f"{self.tag} queue limit {self.queue_limit} hit"
+                )
+        self.traversals += 1
+        slot = self._limiter.request()
+        yield slot
+        try:
+            if self.path_cpu > 0:
+                yield self.cpu.execute(self.path_cpu, self.tag)
+        finally:
+            self._limiter.release(slot)
+        if self.overhead_cpu > 0:
+            self.cpu.execute(self.overhead_cpu, self.tag)  # not awaited
+
+
+class Dataplane(abc.ABC):
+    """A deployable request-execution engine over a set of functions."""
+
+    #: short identifier used as the CPU-tag prefix ("kn", "grpc", ...)
+    plane: str = "base"
+
+    def __init__(
+        self,
+        node: "WorkerNode",
+        functions: list[FunctionSpec],
+        kubelet: Optional[Kubelet] = None,
+        cold_start: bool = False,
+    ) -> None:
+        self.node = node
+        self.functions = {spec.name: spec for spec in functions}
+        if len(self.functions) != len(functions):
+            raise ValueError("duplicate function names")
+        self.kubelet = kubelet or Kubelet(
+            node, cold_start_enabled=cold_start, termination_lag=0.0
+        )
+        self.deployments: dict[str, Deployment] = {}
+        self.requests_completed = 0
+        self._deployed = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def deploy(self) -> None:
+        """Create deployments (and plane-specific transport); idempotent."""
+        if self._deployed:
+            return
+        for name, spec in self.functions.items():
+            deployment = self.kubelet.deployment(spec, self.fn_tag(name))
+            deployment.ensure_scale(spec.min_scale)
+            self.deployments[name] = deployment
+        self._setup_transport()
+        self._deployed = True
+
+    def _setup_transport(self) -> None:
+        """Plane-specific wiring (sockets, rings, hooks); default none."""
+
+    def fn_tag(self, name: str) -> str:
+        return f"{self.plane}/fn/{name}"
+
+    # -- pod selection with cold-start handling -----------------------------------
+    def acquire_pod(self, function: str):
+        """Generator: yields until a servable pod exists, returns the pod.
+
+        A request that lands on a zero-scaled function triggers activation
+        (scale from zero) and waits out the cold start — the Fig 11 path.
+        """
+        deployment = self.deployments[function]
+        pod = self.select_pod(deployment)
+        if pod is not None:
+            return pod
+        deployment.waiting += 1
+        try:
+            while pod is None:
+                if not deployment.live_pods():
+                    deployment.scale_to(1)
+                    self.node.counters.incr(f"{self.plane}/cold_starts")
+                yield deployment.any_servable_event()
+                pod = self.select_pod(deployment)
+        finally:
+            deployment.waiting -= 1
+        return pod
+
+    def select_pod(self, deployment: Deployment) -> Optional[Pod]:
+        """Default policy: round robin (Knative); SPRIGHT overrides."""
+        return deployment.pick_round_robin()
+
+    # -- request execution ---------------------------------------------------------
+    @abc.abstractmethod
+    def handle_request(self, request: Request):
+        """Generator executing the request; sets ``request.response``."""
+
+    def submit(self, request: Request):
+        """Generator wrapper: run the request and stamp completion.
+
+        Overload sheds (queue-limit hits) mark the request failed rather
+        than crashing the run; callers decide whether to retry.
+        """
+        try:
+            yield from self.handle_request(request)
+        except OverloadError:
+            request.failed = True
+            self.node.counters.incr(f"{self.plane}/overload_drops")
+        request.completed_at = self.node.env.now
+        if request.failed:
+            return request
+        self.requests_completed += 1
+        if request.trace is not None:
+            request.trace.completed = True
+        return request

@@ -1,0 +1,50 @@
+"""SPRIGHT: the paper's contribution — gateway, SPROXY/EPROXY, DFR, security."""
+
+from .adapter import (
+    AdapterError,
+    AdapterHookPoint,
+    CoapAdapter,
+    HttpAdapter,
+    MqttAdapter,
+    MqttSessionTable,
+    ProtocolAdapter,
+)
+from .chain import (
+    ChainTransport,
+    RingTransport,
+    SpinCharger,
+    SprightChainRuntime,
+    SprightMessage,
+    SproxyTransport,
+)
+from .plane import DSprightDataplane, SprightParams, SSprightDataplane
+from .routing import DfrRoutingTable, GATEWAY_INSTANCE_ID, RoutingError
+from .security import SecurityDomain, filter_key
+from .sockets import SproxySocket
+from .xdp_accel import XdpAccelerator
+
+__all__ = [
+    "AdapterError",
+    "AdapterHookPoint",
+    "ChainTransport",
+    "CoapAdapter",
+    "DfrRoutingTable",
+    "DSprightDataplane",
+    "GATEWAY_INSTANCE_ID",
+    "HttpAdapter",
+    "MqttAdapter",
+    "MqttSessionTable",
+    "ProtocolAdapter",
+    "RingTransport",
+    "RoutingError",
+    "SecurityDomain",
+    "SpinCharger",
+    "SprightChainRuntime",
+    "SprightMessage",
+    "SprightParams",
+    "SproxySocket",
+    "SproxyTransport",
+    "SSprightDataplane",
+    "XdpAccelerator",
+    "filter_key",
+]

@@ -1,0 +1,206 @@
+"""S-SPRIGHT and D-SPRIGHT as deployable dataplanes.
+
+Both share the external path (ingress gateway -> SPRIGHT gateway over the
+kernel, Table 2's ①/②) and the zero-copy pool; they differ only in the
+descriptor transport: event-driven SPROXY redirection versus polled DPDK
+rings — precisely the §3.2.2 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...audit import Stage
+from ...runtime import MetricsServer
+from ...simcore import Event
+from ..base import Dataplane, ProxyComponent, Request, RequestClass
+from ..legs import external_arrival, leg_kernel
+from .adapter import AdapterHookPoint, CoapAdapter, HttpAdapter, MqttAdapter
+from .chain import SprightChainRuntime, SprightMessage
+from .xdp_accel import XdpAccelerator
+
+
+@dataclass
+class SprightParams:
+    """Shared SPRIGHT configuration."""
+
+    gateway_cores: int = 2
+    security_enabled: bool = True
+    use_xdp_acceleration: bool = False   # §3.5: accelerate the external path
+    ingress_path_cpu: float = 10e-6
+    ingress_overhead_cpu: float = 20e-6
+    pool_capacity: int = 8192
+    pool_buffer_size: int = 16384
+
+
+class _SprightBase(Dataplane):
+    """Common deployment/request logic for both variants."""
+
+    transport_kind = "sproxy"
+
+    def __init__(
+        self,
+        node,
+        functions,
+        chain_name: str = "chain",
+        params: Optional[SprightParams] = None,
+        metrics_server: Optional[MetricsServer] = None,
+        routes: Optional[dict] = None,
+        **kwargs,
+    ):
+        super().__init__(node, functions, **kwargs)
+        self.params = params or SprightParams()
+        self.chain_name = chain_name
+        self.metrics_server = metrics_server
+        self.routes = routes or {}
+        self.ingress = ProxyComponent(
+            node,
+            tag=f"{self.plane}/gw/ingress",
+            path_cpu=self.params.ingress_path_cpu,
+            overhead_cpu=self.params.ingress_overhead_cpu,
+        )
+        self.runtime: Optional[SprightChainRuntime] = None
+        self.xdp: Optional[XdpAccelerator] = None
+        # §3.6: protocol adaptation hook on the gateway datapath, with the
+        # three stock adapters pre-loaded (more can be loaded at runtime).
+        self.adapter_hook = AdapterHookPoint()
+        self.adapter_hook.load(HttpAdapter())
+        self.adapter_hook.load(MqttAdapter())
+        self.adapter_hook.load(CoapAdapter())
+
+    def _setup_transport(self) -> None:
+        self.runtime = SprightChainRuntime(
+            self.node,
+            chain_name=self.chain_name,
+            plane=self.plane,
+            transport_kind=self.transport_kind,
+            metrics_server=self.metrics_server,
+            gateway_cores=self.params.gateway_cores,
+            security_enabled=self.params.security_enabled,
+            pool_capacity=self.params.pool_capacity,
+            pool_buffer_size=self.params.pool_buffer_size,
+        )
+        if self.routes:
+            self.runtime.routing.load_routes(self.routes)
+        for name, deployment in self.deployments.items():
+            self.runtime.attach_deployment(name, deployment)
+        if self.params.use_xdp_acceleration:
+            self.xdp = XdpAccelerator(self.node)
+            self.xdp.install_route(
+                "10.0.1.2", self.node.nic.ifindex + 1
+            )  # gateway's veth-host
+
+    # -- request path ---------------------------------------------------------------
+    def handle_request(self, request: Request):
+        runtime = self.runtime
+        assert runtime is not None, "deploy() must run before handle_request()"
+        trace = request.trace
+        nbytes = len(request.payload)
+        gateway = runtime.gateway
+
+        request.mark("ingress", self.node.env.now)
+        # ①: client -> cluster ingress gateway.
+        yield from external_arrival(self.ingress.ops, nbytes, trace, Stage.STEP_1)
+        yield from self.ingress.traverse()
+
+        # ②: ingress -> SPRIGHT gateway. With XDP/TC acceleration the frame
+        # is redirected between veths below the protocol stack (§3.5);
+        # otherwise it crosses the full kernel path.
+        if self.xdp is not None:
+            yield from self.xdp.forward(
+                self.ingress.ops, nbytes, "10.0.1.2", trace, Stage.STEP_2
+            )
+            # The gateway itself still terminates TCP/HTTP for the client.
+            yield gateway.ops.protocol_processing(nbytes, trace, Stage.STEP_2)
+            yield gateway.ops.copy(nbytes, trace, Stage.STEP_2)
+            yield gateway.ops.context_switch(trace, Stage.STEP_2)
+        else:
+            yield from leg_kernel(
+                gateway.ops, nbytes, trace, Stage.STEP_2, ops_tx=self.ingress.ops
+            )
+        yield from gateway.traverse()
+
+        # The gateway consolidates protocol processing: payload lands in the
+        # chain's private pool exactly once (the copy already audited in ②).
+        handle = runtime.pool.alloc()
+        runtime.pool.write(handle, request.payload)
+        message = SprightMessage(
+            handle=handle,
+            trace=trace,
+            request=request,
+            done=Event(self.node.env),
+            remaining=list(request.request_class.sequence[1:]),
+            topic=request.request_class.topic,
+        )
+        request.mark("gateway", self.node.env.now)
+        head = request.request_class.sequence[0]
+        yield from runtime.dispatch(message, head, self.deployments.get(head))
+
+        # DFR: all further hops bypass the gateway; we simply wait for the
+        # response descriptor to come back (⑧).
+        response = yield message.done
+
+        # ⑨: construct the HTTP response to the external client (costed,
+        # outside the audited pipeline like the other planes).
+        response_bundle = gateway.ops.bundle()
+        response_bundle.serialize(len(response), trace, None)
+        response_bundle.copy(len(response), trace, None)
+        response_bundle.protocol_processing(len(response), trace, None)
+        yield response_bundle.commit()
+        runtime.pool.free(handle)
+        request.mark("response", self.node.env.now)
+        request.response = response
+        return request
+
+    def handle_raw(
+        self,
+        raw: bytes,
+        protocol: str,
+        request_class: RequestClass,
+    ):
+        """Generator: adapt raw protocol bytes at the gateway, then serve.
+
+        The adapter runs *inside* the gateway (no separate adapter pod): the
+        payload it extracts goes straight to shared memory, independent of
+        the L7 protocol it arrived on. Returns (request, ack_bytes).
+        """
+        assert self.runtime is not None, "deploy() must run before handle_raw()"
+        gateway_ops = self.runtime.gateway.ops
+        event, topic, ack = yield from self.adapter_hook.adapt(
+            raw, protocol, ops=gateway_ops
+        )
+        request = Request(
+            request_class=request_class,
+            payload=event.data,
+            created_at=self.node.env.now,
+        )
+        if topic:
+            request.request_class = RequestClass(
+                name=request_class.name,
+                sequence=request_class.sequence,
+                payload_size=request_class.payload_size,
+                response_size=request_class.response_size,
+                weight=request_class.weight,
+                topic=topic,
+            )
+        yield from self.submit(request)
+        return request, ack
+
+    def select_pod(self, deployment):
+        """SPRIGHT load-balances by residual capacity (§3.2.3)."""
+        return deployment.pick_residual_capacity()
+
+
+class SSprightDataplane(_SprightBase):
+    """S-SPRIGHT: event-driven SPROXY descriptor delivery."""
+
+    plane = "sspright"
+    transport_kind = "sproxy"
+
+
+class DSprightDataplane(_SprightBase):
+    """D-SPRIGHT: DPDK RTE-ring descriptor delivery (poll mode)."""
+
+    plane = "dspright"
+    transport_kind = "ring"

@@ -1,0 +1,103 @@
+"""eBPF XDP/TC dataplane acceleration for traffic outside the chain (§3.5).
+
+An XDP program on the physical NIC and TC programs on the host-side veths
+redirect raw frames between interfaces after a FIB lookup, skipping the
+kernel protocol stack and its iptables walk. The programs are real bytecode
+(:func:`repro.kernel.ebpf.programs.xdp_fib_forward` /
+:func:`tc_fib_forward`) executed per packet; the saving the paper reports
+(1.3x throughput, ~20% latency) comes from replacing two protocol-stack
+traversals with two program executions plus a redirect.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ...audit import OverheadKind, RequestTrace, Stage
+from ...kernel import FiveTuple
+from ...kernel.ebpf import Scratch, XDP_REDIRECT, TC_ACT_REDIRECT, programs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...kernel import KernelOps
+    from ...runtime import WorkerNode
+
+
+class XdpAccelerator:
+    """Installs and runs the forwarding programs on NIC + veth hooks."""
+
+    def __init__(self, node: "WorkerNode") -> None:
+        self.node = node
+        self.xdp_program = programs.xdp_fib_forward()
+        self.tc_program = programs.tc_fib_forward()
+        node.nic.xdp_hook.attach(self.xdp_program)
+        self.redirects = 0
+        self.passes = 0
+
+    def install_route(self, dst_ip: str, ifindex: int) -> None:
+        self.node.fib.add_route(dst_ip, ifindex)
+
+    def forward(
+        self,
+        ops: "KernelOps",
+        nbytes: int,
+        dst_ip: str,
+        trace: Optional[RequestTrace],
+        stage: Optional[Stage],
+    ):
+        """Generator: one accelerated hop (replaces a stack traversal).
+
+        Runs the XDP program against the flow; on a FIB hit the frame is
+        redirected interface-to-interface — one interrupt, no protocol
+        processing, no iptables, no extra copies.
+        """
+        costs = self.node.config.costs
+        flow = FiveTuple(src_ip="10.0.0.1", dst_ip=dst_ip, src_port=40000, dst_port=80)
+        scratch = Scratch(
+            map_registry=self.node.map_registry,
+            fib=self.node.fib,
+            packet_flow=flow,
+            now_ns=self.node.clock.now_ns,
+        )
+        run = self.node.nic.xdp_hook.fire(
+            data=programs.encode_packet_ctx(nbytes, self.node.nic.ifindex),
+            scratch=scratch,
+        )
+        yield ops.compute(costs.xdp_fixed + costs.ebpf_run(run.insns_executed))
+        if run.verdict == XDP_REDIRECT:
+            self.redirects += 1
+            # Raw-frame move between interfaces: one softirq, no stack.
+            yield ops.interrupt(trace, stage)
+            yield ops.compute(costs.fib_lookup)
+        else:
+            # FIB miss: fall back to the ordinary kernel path.
+            self.passes += 1
+            yield ops.protocol_processing(nbytes, trace, stage)
+            yield ops.interrupt(trace, stage, count=2)
+
+    def tc_egress(
+        self,
+        ops: "KernelOps",
+        nbytes: int,
+        dst_ip: str,
+        trace: Optional[RequestTrace],
+        stage: Optional[Stage],
+    ):
+        """Generator: pod-egress redirect at the veth-host TC hook (②/③ Fig 7)."""
+        costs = self.node.config.costs
+        flow = FiveTuple(src_ip="10.0.1.2", dst_ip=dst_ip, src_port=40001, dst_port=80)
+        scratch = Scratch(
+            map_registry=self.node.map_registry,
+            fib=self.node.fib,
+            packet_flow=flow,
+            now_ns=self.node.clock.now_ns,
+        )
+        # Fire against a scratch TC hook owned by the accelerator.
+        run = self.node.vm.run(self.tc_program, data=programs.encode_packet_ctx(nbytes, 2), scratch=scratch)
+        yield ops.compute(costs.tc_fixed + costs.ebpf_run(run.insns_executed))
+        if run.return_value == TC_ACT_REDIRECT:
+            self.redirects += 1
+            yield ops.interrupt(trace, stage)
+        else:
+            self.passes += 1
+            yield ops.protocol_processing(nbytes, trace, stage)
+            yield ops.interrupt(trace, stage, count=2)

@@ -1,0 +1,35 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+| module        | artifact             |
+|---------------|----------------------|
+| audits        | Tables 1 and 2       |
+| fig2          | Fig 2 (sidecars)     |
+| fig5          | Fig 5 + §3.2.2 spots |
+| boutique_exp  | Figs 9, 10, Table 5  |
+| motion_exp    | Fig 11               |
+| parking_exp   | Fig 12               |
+| xdp_exp       | §3.5 claim           |
+| ablations     | design-choice ablations |
+"""
+
+from . import (
+    ablations,
+    audits,
+    boutique_exp,
+    fig2,
+    fig5,
+    motion_exp,
+    parking_exp,
+    xdp_exp,
+)
+
+__all__ = [
+    "ablations",
+    "audits",
+    "boutique_exp",
+    "fig2",
+    "fig5",
+    "motion_exp",
+    "parking_exp",
+    "xdp_exp",
+]

@@ -1,0 +1,169 @@
+"""Shared experiment plumbing: plane construction, scenario runs, reports.
+
+Every experiment runner returns a plain dict of numbers so benchmarks,
+examples, and the CLI can all print or assert on the same results. Runs are
+deterministic for a given seed.
+
+Scaling: the paper's full runs (25K Locust users, 150 s, 40 cores) take far
+too long in a pure-Python DES, so runners accept a ``scale`` in (0, 1]:
+users, cores, and proxy core counts shrink proportionally, which preserves
+the ratios the paper reports (who wins and by what factor) — the quantities
+EXPERIMENTS.md compares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..audit import Auditor
+from ..dataplane import (
+    DSprightDataplane,
+    GrpcDataplane,
+    KnativeDataplane,
+    KnativeParams,
+    RequestClass,
+    SprightParams,
+    SSprightDataplane,
+)
+from ..kernel import NodeConfig
+from ..runtime import FunctionSpec, Kubelet, MetricsServer, WorkerNode
+from ..stats import LatencyRecorder
+from ..workloads import ClosedLoopGenerator, WeightedMix
+
+PLANES = {
+    "knative": KnativeDataplane,
+    "grpc": GrpcDataplane,
+    "s-spright": SSprightDataplane,
+    "d-spright": DSprightDataplane,
+}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a run produced, for reporting and assertions."""
+
+    plane: str
+    duration: float
+    recorder: LatencyRecorder
+    node: WorkerNode
+    plane_obj: object
+    auditor: Optional[Auditor] = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def rps(self) -> float:
+        return self.recorder.count("") / self.duration
+
+    def latency_ms(self, which: str = "mean") -> float:
+        summary = self.recorder.summary("")
+        return getattr(summary, which) * 1e3
+
+    def cpu_percent(self, prefix: str) -> float:
+        return self.node.cpu_percent_prefix(
+            f"{self.plane_obj.plane}/{prefix}", self.duration
+        )
+
+    def total_cpu_percent(self) -> float:
+        return self.node.cpu_percent_prefix(f"{self.plane_obj.plane}/", self.duration)
+
+
+def make_node(scale: float = 1.0, seed: int = 2022, cores: int = 40) -> WorkerNode:
+    config = NodeConfig(root_seed=seed)
+    config.cores = max(4, int(round(cores * scale)))
+    return WorkerNode(config)
+
+
+def build_plane(
+    name: str,
+    node: WorkerNode,
+    functions: list[FunctionSpec],
+    metrics_server: Optional[MetricsServer] = None,
+    kubelet: Optional[Kubelet] = None,
+    knative_params: Optional[KnativeParams] = None,
+    spright_params: Optional[SprightParams] = None,
+    cold_start: bool = False,
+):
+    """Construct and deploy one of the four planes by name."""
+    plane_cls = PLANES.get(name)
+    if plane_cls is None:
+        raise KeyError(f"unknown plane {name!r}; choose from {sorted(PLANES)}")
+    kwargs: dict = {"kubelet": kubelet, "cold_start": cold_start}
+    if plane_cls is KnativeDataplane and knative_params is not None:
+        kwargs["params"] = knative_params
+    if plane_cls in (SSprightDataplane, DSprightDataplane):
+        if spright_params is not None:
+            kwargs["params"] = spright_params
+        kwargs["metrics_server"] = metrics_server
+    plane = plane_cls(node, functions, **{k: v for k, v in kwargs.items() if v is not None or k == "kubelet"})
+    plane.deploy()
+    return plane
+
+
+def run_closed_loop(
+    plane_name: str,
+    functions: list[FunctionSpec],
+    request_classes: Sequence[RequestClass],
+    concurrency: int,
+    duration: float,
+    scale: float = 1.0,
+    seed: int = 2022,
+    spawn_rate: Optional[float] = None,
+    think_time: Optional[Callable] = None,
+    client_overhead: float = 0.0007,
+    warmup: float = 0.0,
+    audit: bool = False,
+    knative_params: Optional[KnativeParams] = None,
+    spright_params: Optional[SprightParams] = None,
+) -> ScenarioResult:
+    """One closed-loop scenario on a fresh node."""
+    node = make_node(scale=scale, seed=seed)
+    plane = build_plane(
+        plane_name,
+        node,
+        functions,
+        knative_params=knative_params,
+        spright_params=spright_params,
+    )
+    recorder = LatencyRecorder()
+    auditor = Auditor(name=plane_name) if audit else None
+    generator = ClosedLoopGenerator(
+        node,
+        plane,
+        WeightedMix(list(request_classes)),
+        recorder,
+        concurrency=concurrency,
+        duration=duration,
+        spawn_rate=spawn_rate,
+        think_time=think_time,
+        client_overhead=client_overhead,
+        auditor=auditor,
+        warmup=warmup,
+    )
+    generator.start()
+    node.run(until=duration)
+    return ScenarioResult(
+        plane=plane_name,
+        duration=duration,
+        recorder=recorder,
+        node=node,
+        plane_obj=plane,
+        auditor=auditor,
+    )
+
+
+def geometric_concurrency_levels(maximum: int = 512) -> list[int]:
+    """1, 2, 4, ..., maximum — Fig 5's x axis."""
+    levels = []
+    level = 1
+    while level <= maximum:
+        levels.append(level)
+        level *= 2
+    return levels
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return math.inf
+    return numerator / denominator

@@ -1,0 +1,31 @@
+"""Simulated Linux kernel substrate: costs, packets, stack, eBPF, devices."""
+
+from .costs import CostModel, DEFAULT_COSTS, NodeConfig, usec
+from .fib import FibEntry, FibTable
+from .iptables import Rule, RuleChain, Traversal, Verdict, kubernetes_like_chain
+from .netdev import DeviceRegistry, NetDevice, PhysicalNic, VethEndpoint, VethPair
+from .ops import KernelOps
+from .packet import FiveTuple, Message, Packet
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DeviceRegistry",
+    "FibEntry",
+    "FibTable",
+    "FiveTuple",
+    "KernelOps",
+    "Message",
+    "NetDevice",
+    "NodeConfig",
+    "Packet",
+    "PhysicalNic",
+    "Rule",
+    "RuleChain",
+    "Traversal",
+    "Verdict",
+    "VethEndpoint",
+    "VethPair",
+    "kubernetes_like_chain",
+    "usec",
+]

@@ -1,0 +1,160 @@
+"""bpftool-style introspection: list programs, dump maps, disassemble.
+
+Operators of a SPRIGHT node need to see what is attached where and how much
+work it does — the same visibility `bpftool prog`/`bpftool map` gives on
+Linux. Hook points already track fire counts and executed instructions;
+this module renders them, plus a disassembler for loaded programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .hooks import HookPoint
+from .isa import Insn, Op, Program
+from .maps import ArrayMap, BpfMap, HashMap, MapRegistry, SockMap
+
+_REG = "r{}"
+
+
+def disassemble_insn(insn: Insn, index: int) -> str:
+    """One instruction in kernel-verifier-log style."""
+    op = insn.op
+    dst = _REG.format(insn.dst)
+    src = _REG.format(insn.src)
+    if op is Op.EXIT:
+        body = "exit"
+    elif op is Op.CALL:
+        body = f"call {insn.imm}"
+    elif op is Op.JA:
+        body = f"goto +{insn.off}"
+    elif op.name.startswith("J"):
+        comparator = {
+            "JEQ": "==", "JNE": "!=", "JGT": ">", "JGE": ">=",
+            "JLT": "<", "JLE": "<=", "JSET": "&",
+        }[op.name.split("_")[0]]
+        operand = src if op.name.endswith("REG") else str(insn.imm)
+        body = f"if {dst} {comparator} {operand} goto +{insn.off}"
+    elif op.is_load:
+        size = {Op.LD8: "u8", Op.LD16: "u16", Op.LD32: "u32", Op.LD64: "u64"}[op]
+        body = f"{dst} = *({size} *)({src} {insn.off:+d})"
+    elif op is Op.ST_IMM32:
+        body = f"*(u32 *)({dst} {insn.off:+d}) = {insn.imm}"
+    elif op.is_store:
+        size = {Op.ST8: "u8", Op.ST16: "u16", Op.ST32: "u32", Op.ST64: "u64"}[op]
+        body = f"*({size} *)({dst} {insn.off:+d}) = {src}"
+    else:
+        mnemonic = {
+            Op.MOV_IMM: f"{dst} = {insn.imm}",
+            Op.MOV_REG: f"{dst} = {src}",
+            Op.ADD_IMM: f"{dst} += {insn.imm}",
+            Op.ADD_REG: f"{dst} += {src}",
+            Op.SUB_IMM: f"{dst} -= {insn.imm}",
+            Op.SUB_REG: f"{dst} -= {src}",
+            Op.MUL_IMM: f"{dst} *= {insn.imm}",
+            Op.MUL_REG: f"{dst} *= {src}",
+            Op.DIV_IMM: f"{dst} /= {insn.imm}",
+            Op.DIV_REG: f"{dst} /= {src}",
+            Op.MOD_IMM: f"{dst} %= {insn.imm}",
+            Op.MOD_REG: f"{dst} %= {src}",
+            Op.AND_IMM: f"{dst} &= {insn.imm}",
+            Op.AND_REG: f"{dst} &= {src}",
+            Op.OR_IMM: f"{dst} |= {insn.imm}",
+            Op.OR_REG: f"{dst} |= {src}",
+            Op.XOR_IMM: f"{dst} ^= {insn.imm}",
+            Op.XOR_REG: f"{dst} ^= {src}",
+            Op.LSH_IMM: f"{dst} <<= {insn.imm}",
+            Op.RSH_IMM: f"{dst} >>= {insn.imm}",
+            Op.NEG: f"{dst} = -{dst}",
+        }.get(op)
+        if mnemonic is None:
+            raise ValueError(f"cannot disassemble {op}")
+        body = mnemonic
+    return f"{index:4d}: {body}"
+
+
+def disassemble(program: Program) -> str:
+    """Full program listing."""
+    header = f"{program.name or '<anon>'}: {program.prog_type.value}, {len(program)} insns"
+    lines = [header]
+    lines.extend(
+        disassemble_insn(insn, index) for index, insn in enumerate(program.insns)
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class ProgStat:
+    """`bpftool prog` row: where a program is attached and its work done."""
+
+    hook: str
+    program: str
+    prog_type: str
+    insns: int
+    fire_count: int
+    total_insns_executed: int
+
+    @property
+    def avg_insns_per_fire(self) -> float:
+        if self.fire_count == 0:
+            return 0.0
+        return self.total_insns_executed / self.fire_count
+
+
+def prog_list(hooks: Iterable[HookPoint]) -> list[ProgStat]:
+    """Aggregate stats for every program attached to the given hooks."""
+    stats = []
+    for hook in hooks:
+        for program in hook.programs:
+            stats.append(
+                ProgStat(
+                    hook=hook.name,
+                    program=program.name or "<anon>",
+                    prog_type=program.prog_type.value,
+                    insns=len(program),
+                    fire_count=hook.fire_count,
+                    total_insns_executed=hook.total_insns,
+                )
+            )
+    return stats
+
+
+def render_prog_list(hooks: Iterable[HookPoint]) -> str:
+    lines = [f"{'hook':24s} {'program':26s} {'type':8s} {'insns':>5s} {'fires':>8s}"]
+    for stat in prog_list(hooks):
+        lines.append(
+            f"{stat.hook:24s} {stat.program:26s} {stat.prog_type:8s} "
+            f"{stat.insns:5d} {stat.fire_count:8d}"
+        )
+    return "\n".join(lines)
+
+
+def map_dump(bpf_map: BpfMap, limit: int = 64) -> str:
+    """`bpftool map dump`-style rendering of one map's contents."""
+    header = f"{bpf_map.name or '<anon>'}: {bpf_map.map_type}, max {bpf_map.max_entries}"
+    lines = [header]
+    if isinstance(bpf_map, ArrayMap):
+        for index in range(min(bpf_map.max_entries, limit)):
+            lines.append(f"  [{index}] = {bpf_map.lookup(index)}")
+    elif isinstance(bpf_map, SockMap):
+        for key in sorted(bpf_map.keys())[:limit]:
+            endpoint = bpf_map.lookup(key)
+            owner = getattr(endpoint, "owner_tag", type(endpoint).__name__)
+            lines.append(f"  [{key}] = socket:{owner}")
+    elif isinstance(bpf_map, HashMap):
+        for key in sorted(bpf_map.keys())[:limit]:
+            lines.append(f"  [{key:#x}] = {bpf_map.lookup(key)}")
+    return "\n".join(lines)
+
+
+def registry_summary(registry: MapRegistry) -> str:
+    """All maps on the node, one line each."""
+    lines = ["fd   type      entries  name"]
+    for fd in sorted(registry._maps):
+        bpf_map = registry.get(fd)
+        used = len(bpf_map) if isinstance(bpf_map, HashMap) else bpf_map.max_entries
+        lines.append(
+            f"{fd:<4d} {bpf_map.map_type:9s} {used:>7} {bpf_map.name or '<anon>'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Instruction set of the simulated eBPF virtual machine.
+
+A deliberately faithful subset of real eBPF: eleven 64-bit registers
+(R0-R9 general purpose, R10 read-only frame pointer), ALU ops, sized
+loads/stores against a flat memory, conditional forward jumps, helper calls,
+and EXIT. Programs are sequences of :class:`Insn`; the builder in
+:mod:`assembler` provides mnemonic construction with labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+NUM_REGISTERS = 11
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = range(NUM_REGISTERS)
+FRAME_POINTER = R10
+STACK_SIZE = 512  # bytes, like real eBPF
+WORD_MASK = (1 << 64) - 1
+
+
+class Op(enum.Enum):
+    """Operation codes (mnemonic form; no binary encoding needed)."""
+
+    MOV_IMM = "mov_imm"        # dst = imm
+    MOV_REG = "mov_reg"        # dst = src
+    ADD_IMM = "add_imm"
+    ADD_REG = "add_reg"
+    SUB_IMM = "sub_imm"
+    SUB_REG = "sub_reg"
+    MUL_IMM = "mul_imm"
+    MUL_REG = "mul_reg"
+    DIV_IMM = "div_imm"
+    DIV_REG = "div_reg"
+    MOD_IMM = "mod_imm"
+    MOD_REG = "mod_reg"
+    AND_IMM = "and_imm"
+    AND_REG = "and_reg"
+    OR_IMM = "or_imm"
+    OR_REG = "or_reg"
+    XOR_IMM = "xor_imm"
+    XOR_REG = "xor_reg"
+    LSH_IMM = "lsh_imm"
+    RSH_IMM = "rsh_imm"
+    NEG = "neg"
+    LD8 = "ld8"                # dst = *(u8  *)(src + off)
+    LD16 = "ld16"
+    LD32 = "ld32"
+    LD64 = "ld64"
+    ST8 = "st8"                # *(u8  *)(dst + off) = src
+    ST16 = "st16"
+    ST32 = "st32"
+    ST64 = "st64"
+    ST_IMM32 = "st_imm32"      # *(u32 *)(dst + off) = imm
+    JA = "ja"                  # unconditional forward jump by off
+    JEQ_IMM = "jeq_imm"        # if dst == imm: jump by off
+    JEQ_REG = "jeq_reg"
+    JNE_IMM = "jne_imm"
+    JNE_REG = "jne_reg"
+    JGT_IMM = "jgt_imm"
+    JGE_IMM = "jge_imm"
+    JLT_IMM = "jlt_imm"
+    JLE_IMM = "jle_imm"
+    JSET_IMM = "jset_imm"      # if dst & imm: jump
+    CALL = "call"              # helper call, helper id in imm
+    EXIT = "exit"              # return R0
+
+    @property
+    def is_jump(self) -> bool:
+        return self in _JUMPS
+
+    @property
+    def is_load(self) -> bool:
+        return self in (Op.LD8, Op.LD16, Op.LD32, Op.LD64)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (Op.ST8, Op.ST16, Op.ST32, Op.ST64, Op.ST_IMM32)
+
+
+_JUMPS = {
+    Op.JA,
+    Op.JEQ_IMM,
+    Op.JEQ_REG,
+    Op.JNE_IMM,
+    Op.JNE_REG,
+    Op.JGT_IMM,
+    Op.JGE_IMM,
+    Op.JLT_IMM,
+    Op.JLE_IMM,
+    Op.JSET_IMM,
+}
+
+LOAD_SIZES = {Op.LD8: 1, Op.LD16: 2, Op.LD32: 4, Op.LD64: 8}
+STORE_SIZES = {Op.ST8: 1, Op.ST16: 2, Op.ST32: 4, Op.ST64: 8, Op.ST_IMM32: 4}
+
+
+@dataclass(frozen=True)
+class Insn:
+    """One instruction: ``op dst, src, off, imm`` (unused fields zero)."""
+
+    op: Op
+    dst: int = 0
+    src: int = 0
+    off: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for register in (self.dst, self.src):
+            if not 0 <= register < NUM_REGISTERS:
+                raise ValueError(f"invalid register r{register}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Insn({self.op.value}, dst=r{self.dst}, src=r{self.src}, "
+            f"off={self.off}, imm={self.imm})"
+        )
+
+
+class ProgramType(enum.Enum):
+    """Program types (hook families) the simulated kernel accepts."""
+
+    XDP = "xdp"
+    TC = "tc"  # sched_cls
+    SK_MSG = "sk_msg"
+    SOCK_OPS = "sock_ops"
+    TRACE = "trace"  # kprobe-style metric programs
+
+
+# Return codes, per hook family (values match Linux).
+XDP_ABORTED = 0
+XDP_DROP = 1
+XDP_PASS = 2
+XDP_TX = 3
+XDP_REDIRECT = 4
+
+TC_ACT_OK = 0
+TC_ACT_SHOT = 2
+TC_ACT_REDIRECT = 7
+
+SK_DROP = 0
+SK_PASS = 1
+
+
+@dataclass(frozen=True)
+class Program:
+    """A verified-loadable program: instructions plus its type."""
+
+    insns: tuple[Insn, ...]
+    prog_type: ProgramType
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.insns)

@@ -1,0 +1,144 @@
+"""eBPF maps: the kernel/userspace shared data structures.
+
+Maps are the configurability mechanism SPRIGHT leans on: the sockmap drives
+SPROXY redirection, hash maps hold DFR filtering rules, and array maps hold
+the EPROXY metrics. File descriptors are integers handed out by the
+:class:`MapRegistry`, mirroring how loaded programs reference maps by fd.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class MapError(Exception):
+    """Raised on invalid map operations (full map, bad key size, ...)."""
+
+
+class BpfMap:
+    """Base class: fixed max_entries, byte-string keys, opaque values."""
+
+    map_type = "generic"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        if max_entries <= 0:
+            raise MapError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.name = name
+        self.fd: Optional[int] = None  # assigned by the registry
+
+    def lookup(self, key: int) -> Optional[object]:
+        raise NotImplementedError
+
+    def update(self, key: int, value: object) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: int) -> None:
+        raise NotImplementedError
+
+
+class HashMap(BpfMap):
+    """BPF_MAP_TYPE_HASH: integer keys to values (we use u64 keys)."""
+
+    map_type = "hash"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        super().__init__(max_entries, name)
+        self._data: dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def lookup(self, key: int) -> Optional[object]:
+        return self._data.get(key)
+
+    def update(self, key: int, value: object) -> None:
+        if key not in self._data and len(self._data) >= self.max_entries:
+            raise MapError(f"map {self.name!r} is full ({self.max_entries} entries)")
+        self._data[key] = value
+
+    def delete(self, key: int) -> None:
+        if key not in self._data:
+            raise MapError(f"key {key} not found in map {self.name!r}")
+        del self._data[key]
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._data)
+
+
+class ArrayMap(BpfMap):
+    """BPF_MAP_TYPE_ARRAY: dense u32-indexed slots, zero-initialized."""
+
+    map_type = "array"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        super().__init__(max_entries, name)
+        self._slots: list[int] = [0] * max_entries
+
+    def lookup(self, key: int) -> Optional[int]:
+        if not 0 <= key < self.max_entries:
+            return None
+        return self._slots[key]
+
+    def update(self, key: int, value: object) -> None:
+        if not 0 <= key < self.max_entries:
+            raise MapError(f"index {key} out of range for array map {self.name!r}")
+        self._slots[key] = int(value)  # type: ignore[arg-type]
+
+    def delete(self, key: int) -> None:
+        # Array maps cannot delete; Linux returns -EINVAL.
+        raise MapError("array maps do not support delete")
+
+    def add(self, key: int, delta: int) -> int:
+        """Atomic add (the metric programs' fetch-and-add)."""
+        if not 0 <= key < self.max_entries:
+            raise MapError(f"index {key} out of range for array map {self.name!r}")
+        self._slots[key] += delta
+        return self._slots[key]
+
+
+class SockMap(HashMap):
+    """BPF_MAP_TYPE_SOCKMAP: function instance ID -> socket reference.
+
+    Values must expose a ``deliver_descriptor`` method (our simulated socket
+    endpoints do); ``bpf_msg_redirect_map`` resolves through this map.
+    """
+
+    map_type = "sockmap"
+
+    def update(self, key: int, value: object) -> None:
+        if not hasattr(value, "deliver_descriptor"):
+            raise MapError("sockmap values must be socket endpoints")
+        super().update(key, value)
+
+
+class MapRegistry:
+    """Hands out file descriptors and resolves fd -> map at helper-call time."""
+
+    def __init__(self) -> None:
+        self._maps: dict[int, BpfMap] = {}
+        self._next_fd = 3  # 0/1/2 are stdio, cosmetically
+
+    def create(self, bpf_map: BpfMap) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        bpf_map.fd = fd
+        self._maps[fd] = bpf_map
+        return fd
+
+    def get(self, fd: int) -> BpfMap:
+        bpf_map = self._maps.get(fd)
+        if bpf_map is None:
+            raise MapError(f"no map with fd {fd}")
+        return bpf_map
+
+    def close(self, fd: int) -> None:
+        if fd not in self._maps:
+            raise MapError(f"no map with fd {fd}")
+        del self._maps[fd]
+
+    def __len__(self) -> int:
+        return len(self._maps)

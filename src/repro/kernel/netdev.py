@@ -1,0 +1,115 @@
+"""Network devices: physical NIC and veth pairs, with eBPF attach points.
+
+These exist so the §3.5 acceleration path is structurally real: an XDP hook
+on the NIC RX path, TC hooks on the host-side veths, and a registry mapping
+ifindexes to devices so ``XDP_REDIRECT``/``TC_ACT_REDIRECT`` verdicts can be
+carried out (frame moved directly between devices, skipping the stack).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .ebpf import HookPoint, ProgramType, Vm
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore import Environment, Store
+
+
+class DeviceRegistry:
+    """ifindex -> device, for redirect verdict resolution."""
+
+    def __init__(self) -> None:
+        self._devices: dict[int, "NetDevice"] = {}
+        self._next_ifindex = 1
+
+    def register(self, device: "NetDevice") -> int:
+        ifindex = self._next_ifindex
+        self._next_ifindex += 1
+        self._devices[ifindex] = device
+        return ifindex
+
+    def get(self, ifindex: int) -> "NetDevice":
+        device = self._devices.get(ifindex)
+        if device is None:
+            raise KeyError(f"no device with ifindex {ifindex}")
+        return device
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+
+class NetDevice:
+    """Base device: a name, an ifindex, and an RX queue of frames."""
+
+    def __init__(self, env: "Environment", name: str, registry: DeviceRegistry) -> None:
+        from ..simcore import Store  # local import avoids a package cycle
+
+        self.env = env
+        self.name = name
+        self.registry = registry
+        self.ifindex = registry.register(self)
+        self.rx_queue: Store = Store(env)
+        self.frames_received = 0
+        self.frames_sent = 0
+
+    def receive_frame(self, packet: Packet) -> None:
+        """Enqueue a frame arriving at this device."""
+        self.frames_received += 1
+        packet.ingress_ifindex = self.ifindex
+        self.rx_queue.try_put(packet)
+
+    def send_frame(self, packet: Packet) -> None:
+        self.frames_sent += 1
+
+
+class PhysicalNic(NetDevice):
+    """The node's physical NIC: XDP hook at the earliest RX point."""
+
+    def __init__(
+        self, env: "Environment", registry: DeviceRegistry, vm: Vm, name: str = "eth0"
+    ) -> None:
+        super().__init__(env, name, registry)
+        self.xdp_hook = HookPoint(f"xdp@{name}", ProgramType.XDP, vm)
+        self.link_speed_bps = 10e9  # 10 GbE, per the c220g5 testbed
+
+
+class VethEndpoint(NetDevice):
+    """One side of a veth pair; host side carries the TC ingress hook."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        registry: DeviceRegistry,
+        vm: Vm,
+        name: str,
+        is_host_side: bool,
+    ) -> None:
+        super().__init__(env, name, registry)
+        self.is_host_side = is_host_side
+        self.peer: Optional["VethEndpoint"] = None
+        self.tc_hook = HookPoint(f"tc@{name}", ProgramType.TC, vm) if is_host_side else None
+
+    def send_frame(self, packet: Packet) -> None:
+        """Transmitting on one side makes the frame appear on the peer."""
+        super().send_frame(packet)
+        if self.peer is None:
+            raise RuntimeError(f"veth {self.name} has no peer")
+        self.peer.receive_frame(packet)
+
+
+class VethPair:
+    """A pod's veth pair: pod-side inside the netns, host-side on the node."""
+
+    def __init__(
+        self, env: "Environment", registry: DeviceRegistry, vm: Vm, pod_name: str
+    ) -> None:
+        self.host_side = VethEndpoint(
+            env, registry, vm, name=f"veth-{pod_name}-host", is_host_side=True
+        )
+        self.pod_side = VethEndpoint(
+            env, registry, vm, name=f"veth-{pod_name}-pod", is_host_side=False
+        )
+        self.host_side.peer = self.pod_side
+        self.pod_side.peer = self.host_side

@@ -1,0 +1,34 @@
+"""Shared memory substrate: pools, descriptors, RTE rings, chain managers."""
+
+from .descriptor import DESCRIPTOR_SIZE, DescriptorError, PacketDescriptor
+from .manager import ChainMemory, SharedMemoryManager
+from .pool import (
+    BufferHandle,
+    HUGEPAGE_SIZE,
+    IsolationError,
+    PoolError,
+    PoolRegistry,
+    PoolStats,
+    SharedMemoryPool,
+)
+from .rings import PollingConsumer, RING_F_SC_DEQ, RING_F_SP_ENQ, RingError, RteRing
+
+__all__ = [
+    "BufferHandle",
+    "ChainMemory",
+    "DESCRIPTOR_SIZE",
+    "DescriptorError",
+    "HUGEPAGE_SIZE",
+    "IsolationError",
+    "PacketDescriptor",
+    "PollingConsumer",
+    "PoolError",
+    "PoolRegistry",
+    "PoolStats",
+    "RING_F_SC_DEQ",
+    "RING_F_SP_ENQ",
+    "RingError",
+    "RteRing",
+    "SharedMemoryManager",
+    "SharedMemoryPool",
+]

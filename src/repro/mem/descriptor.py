@@ -1,0 +1,62 @@
+"""The 16-byte packet descriptor passed between functions (§3.2.1).
+
+The descriptor is the *only* thing that crosses sockets/rings in SPRIGHT;
+payloads stay put in shared memory. Layout (little-endian)::
+
+    [ 0: 4]  next_fn    (u32)  instance ID of the next function
+    [ 4:12]  shm_offset (u64)  payload location in the chain's pool
+    [12:16]  length     (u32)  payload length in bytes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DESCRIPTOR_SIZE = 16
+
+
+class DescriptorError(Exception):
+    """Malformed descriptor bytes."""
+
+
+@dataclass(frozen=True)
+class PacketDescriptor:
+    """A shared-memory payload reference addressed to a function instance."""
+
+    next_fn: int
+    shm_offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.next_fn < 2**32:
+            raise DescriptorError(f"next_fn {self.next_fn} out of u32 range")
+        if not 0 <= self.shm_offset < 2**64:
+            raise DescriptorError(f"shm_offset {self.shm_offset} out of u64 range")
+        if not 0 <= self.length < 2**32:
+            raise DescriptorError(f"length {self.length} out of u32 range")
+
+    def pack(self) -> bytes:
+        """Serialize to the 16-byte wire form."""
+        return (
+            self.next_fn.to_bytes(4, "little")
+            + self.shm_offset.to_bytes(8, "little")
+            + self.length.to_bytes(4, "little")
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PacketDescriptor":
+        if len(raw) != DESCRIPTOR_SIZE:
+            raise DescriptorError(
+                f"descriptor must be exactly {DESCRIPTOR_SIZE} bytes, got {len(raw)}"
+            )
+        return cls(
+            next_fn=int.from_bytes(raw[0:4], "little"),
+            shm_offset=int.from_bytes(raw[4:12], "little"),
+            length=int.from_bytes(raw[12:16], "little"),
+        )
+
+    def addressed_to(self, next_fn: int) -> "PacketDescriptor":
+        """A copy of this descriptor re-addressed to another instance."""
+        return PacketDescriptor(
+            next_fn=next_fn, shm_offset=self.shm_offset, length=self.length
+        )

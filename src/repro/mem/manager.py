@@ -1,0 +1,84 @@
+"""The shared memory manager: one DPDK primary process per chain (§3.4).
+
+Startup flow from Fig. 6: the SPRIGHT controller starts a manager dedicated
+to the chain (①); the manager initializes the chain's private pool under a
+unique file prefix (②); the gateway and functions later attach as secondary
+processes by presenting that prefix.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .pool import PoolRegistry, SharedMemoryPool
+from .rings import RteRing
+
+
+@dataclass
+class ChainMemory:
+    """Everything a chain's security domain owns in memory."""
+
+    chain_name: str
+    file_prefix: str
+    pool: SharedMemoryPool
+    rings: dict[str, RteRing] = field(default_factory=dict)
+
+
+class SharedMemoryManager:
+    """Privileged primary process managing one chain's memory resources."""
+
+    def __init__(self, registry: PoolRegistry, chain_name: str) -> None:
+        self.registry = registry
+        self.chain_name = chain_name
+        # The prefix doubles as the attach capability; make it unguessable.
+        self.file_prefix = f"{chain_name}-{secrets.token_hex(8)}"
+        self._chain_memory: Optional[ChainMemory] = None
+
+    def initialize(
+        self,
+        buffer_size: int = 8192,
+        capacity: int = 4096,
+        use_hugepages: bool = True,
+    ) -> ChainMemory:
+        """Create the chain's private pool (rte_mempool_create)."""
+        if self._chain_memory is not None:
+            raise RuntimeError(f"chain {self.chain_name!r} memory already initialized")
+        pool = self.registry.create(
+            name=f"pool-{self.chain_name}",
+            file_prefix=self.file_prefix,
+            buffer_size=buffer_size,
+            capacity=capacity,
+            use_hugepages=use_hugepages,
+        )
+        self._chain_memory = ChainMemory(
+            chain_name=self.chain_name, file_prefix=self.file_prefix, pool=pool
+        )
+        return self._chain_memory
+
+    @property
+    def memory(self) -> ChainMemory:
+        if self._chain_memory is None:
+            raise RuntimeError(f"chain {self.chain_name!r} memory not initialized")
+        return self._chain_memory
+
+    def create_ring(self, owner: str, size: int = 1024, flags: int = 0) -> RteRing:
+        """Assign an RTE ring to a gateway/function (D-SPRIGHT startup)."""
+        memory = self.memory
+        if owner in memory.rings:
+            raise RuntimeError(f"{owner!r} already owns a ring in {self.chain_name!r}")
+        ring = RteRing(name=f"ring-{self.chain_name}-{owner}", size=size, flags=flags)
+        memory.rings[owner] = ring
+        return ring
+
+    def attach(self, file_prefix: str) -> SharedMemoryPool:
+        """Secondary-process attach; wrong prefix raises IsolationError."""
+        return self.registry.attach(self.memory.pool.name, file_prefix)
+
+    def teardown(self) -> None:
+        """Destroy the chain's pool (chain deletion)."""
+        if self._chain_memory is None:
+            return
+        self.registry.destroy(self._chain_memory.pool.name)
+        self._chain_memory = None

@@ -1,0 +1,210 @@
+"""HugePage-backed shared memory pools with file-prefix isolation (§3.2.1, §3.4).
+
+One pool per function chain. The pool stores real bytes: the gateway writes
+the request payload once, functions read/write in place through offsets, and
+nothing is copied between functions — the zero-copy property is structural,
+and tests assert it by checking buffer identity and pool copy counters.
+
+Isolation follows DPDK's multi-process model: the pool is created by a
+privileged *primary* (the shared memory manager) under a unique file prefix;
+*secondaries* (gateway, functions) can attach only if they present the same
+prefix. Attaching with a wrong prefix raises, which is the cross-chain
+security boundary of §3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+HUGEPAGE_SIZE = 2 * 1024 * 1024  # 2 MiB hugepages
+
+
+class PoolError(Exception):
+    """Allocation/exhaustion/ownership errors."""
+
+
+class IsolationError(PoolError):
+    """Attempt to cross a chain's shared-memory security boundary."""
+
+
+@dataclass
+class BufferHandle:
+    """A reference to one buffer in a pool (what descriptors point at)."""
+
+    pool_name: str
+    offset: int
+    size: int
+    in_use: bool = True
+
+
+@dataclass
+class PoolStats:
+    """Counters proving (or disproving) the zero-copy property."""
+
+    allocs: int = 0
+    frees: int = 0
+    writes: int = 0
+    reads: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    alloc_failures: int = 0
+    peak_in_use: int = 0
+
+
+class SharedMemoryPool:
+    """Fixed-size-buffer pool backed by (simulated) hugepages."""
+
+    def __init__(
+        self,
+        name: str,
+        file_prefix: str,
+        buffer_size: int = 8192,
+        capacity: int = 1024,
+        use_hugepages: bool = True,
+    ) -> None:
+        if buffer_size <= 0 or capacity <= 0:
+            raise PoolError("buffer_size and capacity must be positive")
+        self.name = name
+        self.file_prefix = file_prefix
+        self.buffer_size = buffer_size
+        self.capacity = capacity
+        self.use_hugepages = use_hugepages
+        self._memory = bytearray(buffer_size * capacity)
+        self._free_offsets = [index * buffer_size for index in range(capacity)]
+        self._in_use: dict[int, BufferHandle] = {}
+        self.stats = PoolStats()
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return len(self._memory)
+
+    @property
+    def hugepages_backing(self) -> int:
+        """Number of hugepages this pool spans (1 minimum)."""
+        return max(1, -(-self.total_bytes // HUGEPAGE_SIZE))
+
+    @property
+    def in_use_count(self) -> int:
+        return len(self._in_use)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free_offsets)
+
+    # -- allocation -----------------------------------------------------------
+    def alloc(self) -> BufferHandle:
+        """Take one buffer from the pool (rte_mempool_get equivalent)."""
+        if not self._free_offsets:
+            self.stats.alloc_failures += 1
+            raise PoolError(f"pool {self.name!r} exhausted ({self.capacity} buffers)")
+        offset = self._free_offsets.pop()
+        handle = BufferHandle(pool_name=self.name, offset=offset, size=0)
+        self._in_use[offset] = handle
+        self.stats.allocs += 1
+        self.stats.peak_in_use = max(self.stats.peak_in_use, len(self._in_use))
+        return handle
+
+    def free(self, handle: BufferHandle) -> None:
+        if handle.pool_name != self.name:
+            raise PoolError(
+                f"buffer belongs to pool {handle.pool_name!r}, not {self.name!r}"
+            )
+        if handle.offset not in self._in_use:
+            raise PoolError(f"double free of buffer at offset {handle.offset}")
+        del self._in_use[handle.offset]
+        handle.in_use = False
+        self._free_offsets.append(handle.offset)
+        self.stats.frees += 1
+
+    # -- data access ------------------------------------------------------------
+    def write(self, handle: BufferHandle, data: bytes) -> None:
+        """Write payload into the buffer (the gateway's single copy-in)."""
+        self._check_live(handle)
+        if len(data) > self.buffer_size:
+            raise PoolError(
+                f"payload of {len(data)} bytes exceeds buffer size {self.buffer_size}"
+            )
+        self._memory[handle.offset : handle.offset + len(data)] = data
+        handle.size = len(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
+    def read(self, handle: BufferHandle) -> bytes:
+        """Read the payload (functions access data in place)."""
+        self._check_live(handle)
+        self.stats.reads += 1
+        self.stats.bytes_read += handle.size
+        return bytes(self._memory[handle.offset : handle.offset + handle.size])
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Raw offset read (what a descriptor authorizes)."""
+        if offset < 0 or offset + length > self.total_bytes:
+            raise PoolError(f"read [{offset}, {offset + length}) outside pool")
+        self.stats.reads += 1
+        self.stats.bytes_read += length
+        return bytes(self._memory[offset : offset + length])
+
+    def handle_for_offset(self, offset: int) -> Optional[BufferHandle]:
+        return self._in_use.get(offset)
+
+    def _check_live(self, handle: BufferHandle) -> None:
+        if handle.pool_name != self.name:
+            raise PoolError(
+                f"buffer belongs to pool {handle.pool_name!r}, not {self.name!r}"
+            )
+        if handle.offset not in self._in_use:
+            raise PoolError(f"use of freed buffer at offset {handle.offset}")
+
+
+class PoolRegistry:
+    """Node-wide registry implementing the DPDK primary/secondary model."""
+
+    def __init__(self) -> None:
+        self._pools: dict[str, SharedMemoryPool] = {}
+
+    def create(
+        self,
+        name: str,
+        file_prefix: str,
+        buffer_size: int = 8192,
+        capacity: int = 1024,
+        use_hugepages: bool = True,
+    ) -> SharedMemoryPool:
+        """Primary-process pool creation (rte_mempool_create)."""
+        if name in self._pools:
+            raise PoolError(f"pool {name!r} already exists")
+        pool = SharedMemoryPool(
+            name=name,
+            file_prefix=file_prefix,
+            buffer_size=buffer_size,
+            capacity=capacity,
+            use_hugepages=use_hugepages,
+        )
+        self._pools[name] = pool
+        return pool
+
+    def attach(self, name: str, file_prefix: str) -> SharedMemoryPool:
+        """Secondary-process attach (rte_memzone_lookup).
+
+        The file prefix is the capability: presenting the wrong one is the
+        cross-chain access the security domain must (and does) refuse.
+        """
+        pool = self._pools.get(name)
+        if pool is None:
+            raise PoolError(f"no pool named {name!r}")
+        if pool.file_prefix != file_prefix:
+            raise IsolationError(
+                f"prefix {file_prefix!r} does not own pool {name!r} "
+                f"(owned by prefix {pool.file_prefix!r})"
+            )
+        return pool
+
+    def destroy(self, name: str) -> None:
+        if name not in self._pools:
+            raise PoolError(f"no pool named {name!r}")
+        del self._pools[name]
+
+    def __len__(self) -> int:
+        return len(self._pools)

@@ -1,0 +1,165 @@
+"""CoAP (RFC 7252) message codec — the second IoT protocol the adapter speaks.
+
+Implements the fixed 4-byte header, token, option deltas (enough for
+Uri-Path and Content-Format), and payload marker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+COAP_VERSION = 1
+PAYLOAD_MARKER = 0xFF
+
+OPTION_URI_PATH = 11
+OPTION_CONTENT_FORMAT = 12
+
+
+class CoapError(Exception):
+    """Malformed CoAP bytes."""
+
+
+class CoapType(enum.IntEnum):
+    CON = 0  # confirmable
+    NON = 1  # non-confirmable
+    ACK = 2
+    RST = 3
+
+
+class CoapCode(enum.IntEnum):
+    EMPTY = 0x00
+    GET = 0x01
+    POST = 0x02
+    PUT = 0x03
+    DELETE = 0x04
+    CREATED = 0x41   # 2.01
+    CONTENT = 0x45   # 2.05
+    NOT_FOUND = 0x84  # 4.04
+
+
+@dataclass
+class CoapMessage:
+    code: CoapCode
+    message_id: int
+    msg_type: CoapType = CoapType.CON
+    token: bytes = b""
+    uri_path: list[str] = field(default_factory=list)
+    content_format: int | None = None
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        if len(self.token) > 8:
+            raise CoapError("token longer than 8 bytes")
+        if not 0 <= self.message_id <= 0xFFFF:
+            raise CoapError("message id out of range")
+        header = bytes(
+            [
+                (COAP_VERSION << 6) | (self.msg_type << 4) | len(self.token),
+                self.code,
+            ]
+        ) + self.message_id.to_bytes(2, "big")
+        out = bytearray(header + self.token)
+
+        options: list[tuple[int, bytes]] = []
+        for segment in self.uri_path:
+            options.append((OPTION_URI_PATH, segment.encode()))
+        if self.content_format is not None:
+            options.append(
+                (OPTION_CONTENT_FORMAT, self._encode_uint(self.content_format))
+            )
+        options.sort(key=lambda pair: pair[0])
+
+        previous = 0
+        for number, value in options:
+            delta = number - previous
+            previous = number
+            out += self._encode_option_header(delta, len(value))
+            out += value
+        if self.payload:
+            out.append(PAYLOAD_MARKER)
+            out += self.payload
+        return bytes(out)
+
+    @staticmethod
+    def _encode_uint(value: int) -> bytes:
+        if value == 0:
+            return b""
+        length = (value.bit_length() + 7) // 8
+        return value.to_bytes(length, "big")
+
+    @staticmethod
+    def _encode_option_header(delta: int, length: int) -> bytes:
+        def nibble_and_ext(value: int) -> tuple[int, bytes]:
+            if value < 13:
+                return value, b""
+            if value < 269:
+                return 13, bytes([value - 13])
+            return 14, (value - 269).to_bytes(2, "big")
+
+        delta_nibble, delta_ext = nibble_and_ext(delta)
+        length_nibble, length_ext = nibble_and_ext(length)
+        return bytes([(delta_nibble << 4) | length_nibble]) + delta_ext + length_ext
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "CoapMessage":
+        if len(raw) < 4:
+            raise CoapError("message shorter than header")
+        version = raw[0] >> 6
+        if version != COAP_VERSION:
+            raise CoapError(f"unsupported CoAP version {version}")
+        msg_type = CoapType((raw[0] >> 4) & 0x03)
+        token_length = raw[0] & 0x0F
+        if token_length > 8:
+            raise CoapError("token length nibble out of range")
+        code = CoapCode(raw[1])
+        message_id = int.from_bytes(raw[2:4], "big")
+        offset = 4
+        token = raw[offset : offset + token_length]
+        offset += token_length
+
+        uri_path: list[str] = []
+        content_format = None
+        number = 0
+        while offset < len(raw):
+            if raw[offset] == PAYLOAD_MARKER:
+                offset += 1
+                break
+            delta_nibble = raw[offset] >> 4
+            length_nibble = raw[offset] & 0x0F
+            offset += 1
+            delta, offset = cls._decode_ext(delta_nibble, raw, offset)
+            length, offset = cls._decode_ext(length_nibble, raw, offset)
+            number += delta
+            value = raw[offset : offset + length]
+            if len(value) != length:
+                raise CoapError("option value truncated")
+            offset += length
+            if number == OPTION_URI_PATH:
+                uri_path.append(value.decode())
+            elif number == OPTION_CONTENT_FORMAT:
+                content_format = int.from_bytes(value, "big") if value else 0
+        payload = raw[offset:]
+        return cls(
+            code=code,
+            message_id=message_id,
+            msg_type=msg_type,
+            token=token,
+            uri_path=uri_path,
+            content_format=content_format,
+            payload=payload,
+        )
+
+    @staticmethod
+    def _decode_ext(nibble: int, raw: bytes, offset: int) -> tuple[int, int]:
+        if nibble < 13:
+            return nibble, offset
+        if nibble == 13:
+            return raw[offset] + 13, offset + 1
+        if nibble == 14:
+            return int.from_bytes(raw[offset : offset + 2], "big") + 269, offset + 2
+        raise CoapError("reserved option nibble 15")
+
+    @property
+    def path(self) -> str:
+        return "/" + "/".join(self.uri_path)

@@ -1,0 +1,132 @@
+"""HTTP/1.1 request/response codec.
+
+A real byte-level implementation (serializer + incremental-friendly parser),
+because serialization costs in the simulation are charged per encoded byte —
+the encoded sizes must be genuine, not guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+CRLF = b"\r\n"
+SUPPORTED_METHODS = {"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH"}
+
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """Malformed HTTP bytes."""
+
+
+@dataclass
+class HttpRequest:
+    method: str = "GET"
+    path: str = "/"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+
+def encode_request(request: HttpRequest) -> bytes:
+    """Serialize a request, adding Content-Length and Host if missing."""
+    if request.method not in SUPPORTED_METHODS:
+        raise HttpError(f"unsupported method {request.method!r}")
+    headers = {key.lower(): value for key, value in request.headers.items()}
+    headers.setdefault("host", "localhost")
+    if request.body or request.method in ("POST", "PUT", "PATCH"):
+        headers["content-length"] = str(len(request.body))
+    lines = [f"{request.method} {request.path} {request.version}".encode()]
+    lines.extend(f"{key}: {value}".encode() for key, value in sorted(headers.items()))
+    return CRLF.join(lines) + CRLF + CRLF + request.body
+
+
+def encode_response(response: HttpResponse) -> bytes:
+    headers = {key.lower(): value for key, value in response.headers.items()}
+    headers["content-length"] = str(len(response.body))
+    lines = [f"{response.version} {response.status} {response.reason}".encode()]
+    lines.extend(f"{key}: {value}".encode() for key, value in sorted(headers.items()))
+    return CRLF.join(lines) + CRLF + CRLF + response.body
+
+
+def _split_head(raw: bytes) -> tuple[list[bytes], bytes]:
+    separator = raw.find(CRLF + CRLF)
+    if separator < 0:
+        raise HttpError("incomplete message: missing header terminator")
+    head = raw[:separator]
+    body = raw[separator + 4 :]
+    return head.split(CRLF), body
+
+
+def _parse_headers(lines: list[bytes]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, colon, value = line.partition(b":")
+        if not colon:
+            raise HttpError(f"malformed header line {line!r}")
+        headers[name.decode().strip().lower()] = value.decode().strip()
+    return headers
+
+
+def decode_request(raw: bytes) -> HttpRequest:
+    lines, body = _split_head(raw)
+    parts = lines[0].decode().split(" ")
+    if len(parts) != 3:
+        raise HttpError(f"malformed request line {lines[0]!r}")
+    method, path, version = parts
+    if method not in SUPPORTED_METHODS:
+        raise HttpError(f"unsupported method {method!r}")
+    headers = _parse_headers(lines[1:])
+    length = int(headers.get("content-length", "0"))
+    if length > len(body):
+        raise HttpError(f"body truncated: expected {length}, have {len(body)}")
+    return HttpRequest(
+        method=method, path=path, headers=headers, body=body[:length], version=version
+    )
+
+
+def decode_response(raw: bytes) -> HttpResponse:
+    lines, body = _split_head(raw)
+    parts = lines[0].decode().split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpError(f"malformed status line {lines[0]!r}")
+    version, status = parts[0], int(parts[1])
+    headers = _parse_headers(lines[1:])
+    length = int(headers.get("content-length", str(len(body))))
+    if length > len(body):
+        raise HttpError(f"body truncated: expected {length}, have {len(body)}")
+    return HttpResponse(status=status, headers=headers, body=body[:length], version=version)

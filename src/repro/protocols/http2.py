@@ -1,0 +1,392 @@
+"""HTTP/2 framing and HPACK header compression (RFC 7540 / 7541 subset).
+
+gRPC — the boutique's inter-function protocol — runs over HTTP/2: every call
+is a HEADERS frame (HPACK-compressed pseudo-headers) plus DATA frames
+carrying the length-prefixed gRPC messages. This module implements the
+frame layer and HPACK (static table, dynamic table with eviction,
+prefix-coded integers, literal strings; Huffman coding is the spec-optional
+part we omit) so the bytes the cost model charges for gRPC mode are genuine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+FRAME_HEADER_LEN = 9
+CONNECTION_PREFACE = b"PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+DEFAULT_MAX_FRAME_SIZE = 16384
+DEFAULT_HEADER_TABLE_SIZE = 4096
+
+
+class Http2Error(Exception):
+    """Malformed frames or HPACK blocks."""
+
+
+class FrameType(enum.IntEnum):
+    DATA = 0x0
+    HEADERS = 0x1
+    RST_STREAM = 0x3
+    SETTINGS = 0x4
+    PING = 0x6
+    GOAWAY = 0x7
+    WINDOW_UPDATE = 0x8
+
+
+class Flags(enum.IntFlag):
+    NONE = 0x0
+    END_STREAM = 0x1
+    END_HEADERS = 0x4
+    ACK = 0x1  # for SETTINGS/PING
+
+
+@dataclass
+class Frame:
+    """One HTTP/2 frame: 9-byte header + payload."""
+
+    frame_type: FrameType
+    flags: int = 0
+    stream_id: int = 0
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        if len(self.payload) > 2**24 - 1:
+            raise Http2Error("frame payload exceeds 24-bit length")
+        if not 0 <= self.stream_id < 2**31:
+            raise Http2Error("stream id out of 31-bit range")
+        return (
+            len(self.payload).to_bytes(3, "big")
+            + bytes([self.frame_type, self.flags])
+            + self.stream_id.to_bytes(4, "big")
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes, offset: int = 0) -> tuple["Frame", int]:
+        """Returns (frame, next_offset)."""
+        if len(raw) - offset < FRAME_HEADER_LEN:
+            raise Http2Error("truncated frame header")
+        length = int.from_bytes(raw[offset : offset + 3], "big")
+        frame_type = FrameType(raw[offset + 3])
+        flags = raw[offset + 4]
+        stream_id = int.from_bytes(raw[offset + 5 : offset + 9], "big") & 0x7FFFFFFF
+        end = offset + FRAME_HEADER_LEN + length
+        if end > len(raw):
+            raise Http2Error(f"truncated frame payload (want {length} bytes)")
+        return (
+            cls(
+                frame_type=frame_type,
+                flags=flags,
+                stream_id=stream_id,
+                payload=raw[offset + FRAME_HEADER_LEN : end],
+            ),
+            end,
+        )
+
+
+def decode_frames(raw: bytes) -> list[Frame]:
+    frames = []
+    offset = 0
+    while offset < len(raw):
+        frame, offset = Frame.decode(raw, offset)
+        frames.append(frame)
+    return frames
+
+
+# -- HPACK (RFC 7541) --------------------------------------------------------------
+
+# Entries 1..61 of the static table (the ones gRPC actually touches plus
+# enough of the rest to be faithful for tests).
+STATIC_TABLE: list[tuple[str, str]] = [
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+]
+
+
+def encode_integer(value: int, prefix_bits: int, first_byte_flags: int = 0) -> bytes:
+    """HPACK prefix-coded integer."""
+    if value < 0:
+        raise Http2Error("negative integer")
+    limit = (1 << prefix_bits) - 1
+    if value < limit:
+        return bytes([first_byte_flags | value])
+    out = bytearray([first_byte_flags | limit])
+    value -= limit
+    while value >= 128:
+        out.append((value % 128) | 0x80)
+        value //= 128
+    out.append(value)
+    return bytes(out)
+
+
+def decode_integer(raw: bytes, offset: int, prefix_bits: int) -> tuple[int, int]:
+    """Returns (value, next_offset)."""
+    if offset >= len(raw):
+        raise Http2Error("truncated integer")
+    limit = (1 << prefix_bits) - 1
+    value = raw[offset] & limit
+    offset += 1
+    if value < limit:
+        return value, offset
+    shift = 0
+    while True:
+        if offset >= len(raw):
+            raise Http2Error("truncated integer continuation")
+        byte = raw[offset]
+        offset += 1
+        value += (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 35:
+            raise Http2Error("integer overflow")
+
+
+def _encode_string(text: str) -> bytes:
+    data = text.encode("utf-8")
+    return encode_integer(len(data), 7) + data  # H bit 0: no Huffman
+
+
+def _decode_string(raw: bytes, offset: int) -> tuple[str, int]:
+    if offset >= len(raw):
+        raise Http2Error("truncated string length")
+    huffman = bool(raw[offset] & 0x80)
+    length, offset = decode_integer(raw, offset, 7)
+    if huffman:
+        raise Http2Error("Huffman-coded strings are not supported")
+    end = offset + length
+    if end > len(raw):
+        raise Http2Error("truncated string body")
+    return raw[offset:end].decode("utf-8"), end
+
+
+def _entry_size(name: str, value: str) -> int:
+    return len(name.encode()) + len(value.encode()) + 32  # RFC 7541 §4.1
+
+
+class HpackCodec:
+    """Encoder/decoder pair sharing the dynamic-table discipline.
+
+    One codec instance models one endpoint's context; use separate
+    instances for each direction of a connection.
+    """
+
+    def __init__(self, max_table_size: int = DEFAULT_HEADER_TABLE_SIZE) -> None:
+        self.max_table_size = max_table_size
+        self._dynamic: list[tuple[str, str]] = []  # newest first
+        self._dynamic_size = 0
+
+    # -- table management ------------------------------------------------------
+    def _add(self, name: str, value: str) -> None:
+        size = _entry_size(name, value)
+        self._dynamic.insert(0, (name, value))
+        self._dynamic_size += size
+        while self._dynamic_size > self.max_table_size and self._dynamic:
+            old_name, old_value = self._dynamic.pop()
+            self._dynamic_size -= _entry_size(old_name, old_value)
+
+    def _lookup_index(self, name: str, value: str) -> tuple[Optional[int], Optional[int]]:
+        """(exact-match index, name-only index), 1-based HPACK numbering."""
+        exact = None
+        name_only = None
+        for index, (entry_name, entry_value) in enumerate(STATIC_TABLE, start=1):
+            if entry_name == name:
+                if entry_value == value:
+                    return index, index
+                if name_only is None:
+                    name_only = index
+        base = len(STATIC_TABLE)
+        for index, (entry_name, entry_value) in enumerate(self._dynamic, start=1):
+            if entry_name == name:
+                if entry_value == value:
+                    return base + index, base + index
+                if name_only is None:
+                    name_only = base + index
+        return exact, name_only
+
+    def _entry_at(self, index: int) -> tuple[str, str]:
+        if index <= 0:
+            raise Http2Error("HPACK index 0 is invalid")
+        if index <= len(STATIC_TABLE):
+            return STATIC_TABLE[index - 1]
+        dynamic_index = index - len(STATIC_TABLE) - 1
+        if dynamic_index >= len(self._dynamic):
+            raise Http2Error(f"HPACK index {index} beyond table")
+        return self._dynamic[dynamic_index]
+
+    # -- encode/decode -----------------------------------------------------------
+    def encode(self, headers: Iterable[tuple[str, str]]) -> bytes:
+        out = bytearray()
+        for name, value in headers:
+            exact, name_index = self._lookup_index(name, value)
+            if exact is not None:
+                out += encode_integer(exact, 7, 0x80)  # indexed field
+                continue
+            if name_index is not None:
+                out += encode_integer(name_index, 6, 0x40)  # literal, indexed name
+            else:
+                out += encode_integer(0, 6, 0x40)
+                out += _encode_string(name)
+            out += _encode_string(value)
+            self._add(name, value)
+        return bytes(out)
+
+    def decode(self, raw: bytes) -> list[tuple[str, str]]:
+        headers = []
+        offset = 0
+        while offset < len(raw):
+            first = raw[offset]
+            if first & 0x80:  # indexed
+                index, offset = decode_integer(raw, offset, 7)
+                headers.append(self._entry_at(index))
+            elif first & 0x40:  # literal with incremental indexing
+                index, offset = decode_integer(raw, offset, 6)
+                if index:
+                    name = self._entry_at(index)[0]
+                else:
+                    name, offset = _decode_string(raw, offset)
+                value, offset = _decode_string(raw, offset)
+                headers.append((name, value))
+                self._add(name, value)
+            elif first & 0x20:  # dynamic table size update
+                size, offset = decode_integer(raw, offset, 5)
+                self.max_table_size = size
+                while self._dynamic_size > size and self._dynamic:
+                    name, value = self._dynamic.pop()
+                    self._dynamic_size -= _entry_size(name, value)
+            else:  # literal without indexing / never indexed (4-bit prefix)
+                index, offset = decode_integer(raw, offset, 4)
+                if index:
+                    name = self._entry_at(index)[0]
+                else:
+                    name, offset = _decode_string(raw, offset)
+                value, offset = _decode_string(raw, offset)
+                headers.append((name, value))
+        return headers
+
+    @property
+    def dynamic_entries(self) -> int:
+        return len(self._dynamic)
+
+
+# -- gRPC over HTTP/2 --------------------------------------------------------------
+
+def grpc_request_headers(path: str, authority: str = "localhost") -> list[tuple[str, str]]:
+    return [
+        (":method", "POST"),
+        (":scheme", "http"),
+        (":path", path),
+        (":authority", authority),
+        ("content-type", "application/grpc"),
+        ("te", "trailers"),
+    ]
+
+
+def encode_grpc_request(
+    codec: HpackCodec,
+    path: str,
+    grpc_frame: bytes,
+    stream_id: int = 1,
+    max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+) -> bytes:
+    """One unary gRPC call as HEADERS + DATA frame(s)."""
+    header_block = codec.encode(grpc_request_headers(path))
+    frames = [
+        Frame(
+            FrameType.HEADERS,
+            flags=Flags.END_HEADERS,
+            stream_id=stream_id,
+            payload=header_block,
+        )
+    ]
+    chunks = [
+        grpc_frame[start : start + max_frame_size]
+        for start in range(0, len(grpc_frame), max_frame_size)
+    ] or [b""]
+    for position, chunk in enumerate(chunks):
+        last = position == len(chunks) - 1
+        frames.append(
+            Frame(
+                FrameType.DATA,
+                flags=Flags.END_STREAM if last else 0,
+                stream_id=stream_id,
+                payload=chunk,
+            )
+        )
+    return b"".join(frame.encode() for frame in frames)
+
+
+def decode_grpc_request(codec: HpackCodec, raw: bytes) -> tuple[str, bytes]:
+    """Reassemble (path, grpc_frame) from a HEADERS + DATA frame stream."""
+    path = ""
+    body = bytearray()
+    for frame in decode_frames(raw):
+        if frame.frame_type is FrameType.HEADERS:
+            for name, value in codec.decode(frame.payload):
+                if name == ":path":
+                    path = value
+        elif frame.frame_type is FrameType.DATA:
+            body += frame.payload
+    if not path:
+        raise Http2Error("no :path pseudo-header in request")
+    return path, bytes(body)

@@ -1,0 +1,201 @@
+"""MQTT v5 packet codec (the subset the IoT adapter needs).
+
+CONNECT/CONNACK for the stateful L7 session the SPRIGHT gateway terminates
+on behalf of the adapter (§3.6), and PUBLISH/PUBACK for motion-sensor event
+delivery. Variable-byte-integer lengths and UTF-8 strings are implemented
+per the OASIS spec.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MqttError(Exception):
+    """Malformed MQTT bytes."""
+
+
+class PacketType(enum.IntEnum):
+    CONNECT = 1
+    CONNACK = 2
+    PUBLISH = 3
+    PUBACK = 4
+    SUBSCRIBE = 8
+    SUBACK = 9
+    PINGREQ = 12
+    PINGRESP = 13
+    DISCONNECT = 14
+
+
+def encode_varlen(value: int) -> bytes:
+    """MQTT variable byte integer (1-4 bytes)."""
+    if not 0 <= value <= 268_435_455:
+        raise MqttError(f"length {value} out of range")
+    out = bytearray()
+    while True:
+        byte = value % 128
+        value //= 128
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varlen(raw: bytes, offset: int = 0) -> tuple[int, int]:
+    multiplier = 1
+    value = 0
+    position = offset
+    for _ in range(4):
+        if position >= len(raw):
+            raise MqttError("truncated variable byte integer")
+        byte = raw[position]
+        position += 1
+        value += (byte & 0x7F) * multiplier
+        if not byte & 0x80:
+            return value, position
+        multiplier *= 128
+    raise MqttError("variable byte integer longer than 4 bytes")
+
+
+def _encode_string(text: str) -> bytes:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise MqttError("string too long")
+    return len(data).to_bytes(2, "big") + data
+
+
+def _decode_string(raw: bytes, offset: int) -> tuple[str, int]:
+    if offset + 2 > len(raw):
+        raise MqttError("truncated string length")
+    length = int.from_bytes(raw[offset : offset + 2], "big")
+    end = offset + 2 + length
+    if end > len(raw):
+        raise MqttError("truncated string body")
+    return raw[offset + 2 : end].decode("utf-8"), end
+
+
+@dataclass
+class ConnectPacket:
+    client_id: str
+    keep_alive: int = 60
+    clean_start: bool = True
+
+    def encode(self) -> bytes:
+        flags = 0x02 if self.clean_start else 0x00
+        variable = (
+            _encode_string("MQTT")
+            + bytes([5])              # protocol version 5
+            + bytes([flags])
+            + self.keep_alive.to_bytes(2, "big")
+            + b"\x00"                  # empty properties
+        )
+        payload = _encode_string(self.client_id)
+        body = variable + payload
+        return bytes([PacketType.CONNECT << 4]) + encode_varlen(len(body)) + body
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ConnectPacket":
+        packet_type, body = _split(raw, PacketType.CONNECT)
+        name, offset = _decode_string(body, 0)
+        if name != "MQTT":
+            raise MqttError(f"bad protocol name {name!r}")
+        version = body[offset]
+        if version != 5:
+            raise MqttError(f"unsupported MQTT version {version}")
+        flags = body[offset + 1]
+        keep_alive = int.from_bytes(body[offset + 2 : offset + 4], "big")
+        properties_len, offset = decode_varlen(body, offset + 4)
+        offset += properties_len
+        client_id, _ = _decode_string(body, offset)
+        return cls(
+            client_id=client_id,
+            keep_alive=keep_alive,
+            clean_start=bool(flags & 0x02),
+        )
+
+
+@dataclass
+class ConnackPacket:
+    reason_code: int = 0
+    session_present: bool = False
+
+    def encode(self) -> bytes:
+        body = bytes([1 if self.session_present else 0, self.reason_code, 0])
+        return bytes([PacketType.CONNACK << 4]) + encode_varlen(len(body)) + body
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ConnackPacket":
+        _, body = _split(raw, PacketType.CONNACK)
+        if len(body) < 2:
+            raise MqttError("CONNACK too short")
+        return cls(reason_code=body[1], session_present=bool(body[0] & 0x01))
+
+
+@dataclass
+class PublishPacket:
+    topic: str
+    payload: bytes
+    qos: int = 1
+    packet_id: int = 1
+
+    def encode(self) -> bytes:
+        if not 0 <= self.qos <= 2:
+            raise MqttError(f"invalid QoS {self.qos}")
+        flags = self.qos << 1
+        body = _encode_string(self.topic)
+        if self.qos > 0:
+            body += self.packet_id.to_bytes(2, "big")
+        body += b"\x00"  # empty properties
+        body += self.payload
+        return bytes([(PacketType.PUBLISH << 4) | flags]) + encode_varlen(len(body)) + body
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "PublishPacket":
+        first, body = _split(raw, PacketType.PUBLISH)
+        qos = (first >> 1) & 0x03
+        topic, offset = _decode_string(body, 0)
+        packet_id = 0
+        if qos > 0:
+            packet_id = int.from_bytes(body[offset : offset + 2], "big")
+            offset += 2
+        properties_len, offset = decode_varlen(body, offset)
+        offset += properties_len
+        return cls(topic=topic, payload=body[offset:], qos=qos, packet_id=packet_id)
+
+
+@dataclass
+class PubackPacket:
+    packet_id: int
+    reason_code: int = 0
+
+    def encode(self) -> bytes:
+        body = self.packet_id.to_bytes(2, "big") + bytes([self.reason_code])
+        return bytes([PacketType.PUBACK << 4]) + encode_varlen(len(body)) + body
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "PubackPacket":
+        _, body = _split(raw, PacketType.PUBACK)
+        if len(body) < 2:
+            raise MqttError("PUBACK too short")
+        reason = body[2] if len(body) > 2 else 0
+        return cls(packet_id=int.from_bytes(body[0:2], "big"), reason_code=reason)
+
+
+def packet_type(raw: bytes) -> PacketType:
+    if not raw:
+        raise MqttError("empty packet")
+    return PacketType(raw[0] >> 4)
+
+
+def _split(raw: bytes, expected: PacketType) -> tuple[int, bytes]:
+    if not raw:
+        raise MqttError("empty packet")
+    first = raw[0]
+    if (first >> 4) != expected:
+        raise MqttError(f"expected {expected.name}, got type {first >> 4}")
+    length, offset = decode_varlen(raw, 1)
+    if offset + length > len(raw):
+        raise MqttError("packet truncated")
+    return first, raw[offset : offset + length]

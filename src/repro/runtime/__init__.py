@@ -1,0 +1,76 @@
+"""Orchestration substrate: node, specs, pods, kubelet, autoscaler, placement."""
+
+from .autoscaler import Autoscaler, AutoscalerPolicy
+from .cluster import (
+    ChainUnit,
+    Cluster,
+    ClusterError,
+    ClusterIngress,
+    CROSS_NODE_LATENCY,
+    fragmentation_report,
+)
+from .health import (
+    HealthProber,
+    ProbeKind,
+    ProbePolicy,
+    VerticalPodScaler,
+    VerticalScalePolicy,
+)
+from .kubelet import Deployment, Kubelet, desired_scale_for_concurrency
+from .metrics_server import MetricsServer, PodMetrics
+from .node import WorkerNode
+from .pod import Pod, PodPhase
+from .scheduler import (
+    NodeDescriptor,
+    PlacementEngine,
+    PlacementError,
+    chain_core_request,
+    chain_memory_request,
+)
+from .spec import (
+    ChainSpec,
+    DEFAULT_TOPIC,
+    ENTRY,
+    FunctionResult,
+    FunctionSpec,
+    RESPONSE,
+    echo_behavior,
+    sequential_chain,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "CROSS_NODE_LATENCY",
+    "ChainSpec",
+    "ChainUnit",
+    "Cluster",
+    "ClusterError",
+    "ClusterIngress",
+    "HealthProber",
+    "ProbeKind",
+    "ProbePolicy",
+    "VerticalPodScaler",
+    "VerticalScalePolicy",
+    "fragmentation_report",
+    "DEFAULT_TOPIC",
+    "Deployment",
+    "ENTRY",
+    "FunctionResult",
+    "FunctionSpec",
+    "Kubelet",
+    "MetricsServer",
+    "NodeDescriptor",
+    "PlacementEngine",
+    "PlacementError",
+    "Pod",
+    "PodMetrics",
+    "PodPhase",
+    "RESPONSE",
+    "WorkerNode",
+    "chain_core_request",
+    "chain_memory_request",
+    "desired_scale_for_concurrency",
+    "echo_behavior",
+    "sequential_chain",
+]

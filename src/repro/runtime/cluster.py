@@ -1,0 +1,143 @@
+"""Multi-node clusters: chain units per node + cluster-level load balancing.
+
+§3.8: "scaling SPRIGHT across multiple nodes requires all the functions of a
+chain to be deployed on each node ... we need to load balance between
+different function chain units in a multi-node deployment." A
+:class:`Cluster` co-simulates several worker nodes on one clock, deploys one
+complete *chain unit* (gateway + pool + functions) per node through the
+placement engine, and fronts them with a cluster ingress that balances
+requests across units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..simcore import Environment
+from .node import WorkerNode
+from .scheduler import NodeDescriptor, PlacementEngine
+from .spec import ChainSpec
+
+# Cross-node request forwarding: NIC-to-NIC over the 10 GbE fabric.
+CROSS_NODE_LATENCY = 30e-6
+
+
+class ClusterError(Exception):
+    """Deployment/misrouting errors at cluster scope."""
+
+
+class Cluster:
+    """Several worker nodes sharing one simulated clock."""
+
+    def __init__(self, node_count: int = 2, config_factory: Optional[Callable] = None) -> None:
+        if node_count <= 0:
+            raise ClusterError("need at least one node")
+        self.env = Environment()
+        self.nodes: list[WorkerNode] = []
+        self.placement = PlacementEngine()
+        for index in range(node_count):
+            config = config_factory() if config_factory else None
+            node = WorkerNode(config=config, env=self.env, name=f"worker-{index + 1}")
+            self.nodes.append(node)
+            self.placement.add_node(
+                NodeDescriptor(name=node.name, cores=node.cpu.total_cores)
+            )
+
+    def node(self, name: str) -> WorkerNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ClusterError(f"no node named {name!r}")
+
+    def run(self, until: float) -> None:
+        self.env.run(until=until)
+
+
+@dataclass
+class ChainUnit:
+    """One complete deployment of a chain on one node."""
+
+    node: WorkerNode
+    plane: object  # a deployed Dataplane
+    served: int = 0
+
+
+class ClusterIngress:
+    """Cluster-wide ingress balancing requests across chain units.
+
+    Policies: ``round_robin`` (Knative-ish) or ``least_loaded`` (by in-flight
+    requests at the unit), both with the cross-node forwarding penalty when
+    a request lands on a non-local unit.
+    """
+
+    def __init__(self, cluster: Cluster, policy: str = "least_loaded") -> None:
+        if policy not in ("round_robin", "least_loaded"):
+            raise ClusterError(f"unknown policy {policy!r}")
+        self.cluster = cluster
+        self.policy = policy
+        self.units: list[ChainUnit] = []
+        self._round_robin = 0
+        self.in_flight: dict[int, int] = {}
+
+    def deploy_chain_units(
+        self,
+        chain: ChainSpec,
+        plane_factory: Callable[[WorkerNode], object],
+        replicas: Optional[int] = None,
+    ) -> list[ChainUnit]:
+        """Place one chain unit per selected node, whole-chain at a time."""
+        replicas = replicas if replicas is not None else len(self.cluster.nodes)
+        if replicas > len(self.cluster.nodes):
+            raise ClusterError(
+                f"{replicas} replicas requested but only "
+                f"{len(self.cluster.nodes)} nodes exist"
+            )
+        for replica in range(replicas):
+            # Chain-granularity placement (§3.8's deployment constraint).
+            unit_chain = ChainSpec(
+                name=f"{chain.name}-u{replica}",
+                functions=chain.functions,
+                routes=chain.routes,
+            )
+            node_name = self.cluster.placement.place_chain(unit_chain, strategy="spread")
+            node = self.cluster.node(node_name)
+            plane = plane_factory(node)
+            plane.deploy()
+            unit = ChainUnit(node=node, plane=plane)
+            self.units.append(unit)
+            self.in_flight[id(unit)] = 0
+        return self.units
+
+    def pick_unit(self) -> ChainUnit:
+        if not self.units:
+            raise ClusterError("no chain units deployed")
+        if self.policy == "round_robin":
+            self._round_robin = (self._round_robin + 1) % len(self.units)
+            return self.units[self._round_robin]
+        return min(self.units, key=lambda unit: self.in_flight[id(unit)])
+
+    def submit(self, request, source_node: Optional[WorkerNode] = None):
+        """Generator: route one request to a unit and run it there."""
+        unit = self.pick_unit()
+        env = self.cluster.env
+        if source_node is not None and source_node is not unit.node:
+            yield env.timeout(CROSS_NODE_LATENCY)
+        self.in_flight[id(unit)] += 1
+        try:
+            yield env.process(unit.plane.submit(request))
+        finally:
+            self.in_flight[id(unit)] -= 1
+            unit.served += 1
+        return request
+
+
+def fragmentation_report(cluster: Cluster) -> dict:
+    """§3.8's fragmentation concern, quantified."""
+    return {
+        "fragmentation": cluster.placement.fragmentation(),
+        "chains_per_node": {
+            descriptor.name: len(descriptor.chains)
+            for descriptor in cluster.placement.nodes.values()
+        },
+    }

@@ -1,0 +1,190 @@
+"""Kubelet and per-function deployments (pod sets).
+
+The kubelet is the node-local pod manager: it creates pods (sampling their
+cold-start delay), tears them down (with the observed Knative termination
+lag when configured), and exposes the pod sets ('deployments') that the
+autoscaler resizes and dataplanes route across.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from ..simcore import Event
+from .pod import Pod, PodPhase
+from .spec import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import WorkerNode
+
+
+class Deployment:
+    """All pods of one function on one node."""
+
+    def __init__(self, kubelet: "Kubelet", spec: FunctionSpec, cpu_tag: str) -> None:
+        self.kubelet = kubelet
+        self.spec = spec
+        self.cpu_tag = cpu_tag
+        self.pods: list[Pod] = []
+        self._round_robin = 0
+        self._ready_waiters: list[Event] = []
+        self.scale_up_events = 0
+        self.scale_down_events = 0
+        # Dataplanes subscribe to wire transports onto new pods (sockets,
+        # rings, sockmap entries) and to tear them down on termination.
+        self.pod_ready_callbacks: list = []
+        self.pod_terminated_callbacks: list = []
+        # Requests blocked waiting for a servable pod (cold start queue);
+        # the autoscaler must see these or it will reap starting pods.
+        self.waiting = 0
+
+    # -- views -------------------------------------------------------------
+    @property
+    def node(self) -> "WorkerNode":
+        return self.kubelet.node
+
+    def servable_pods(self) -> list[Pod]:
+        return [pod for pod in self.pods if pod.is_servable]
+
+    def live_pods(self) -> list[Pod]:
+        return [
+            pod
+            for pod in self.pods
+            if pod.phase in (PodPhase.PENDING, PodPhase.STARTING, PodPhase.RUNNING)
+        ]
+
+    @property
+    def scale(self) -> int:
+        return len(self.live_pods())
+
+    def total_in_flight(self) -> int:
+        return sum(pod.in_flight for pod in self.pods) + self.waiting
+
+    # -- pod selection ---------------------------------------------------------
+    def pick_round_robin(self) -> Optional[Pod]:
+        servable = self.servable_pods()
+        if not servable:
+            return None
+        self._round_robin = (self._round_robin + 1) % len(servable)
+        return servable[self._round_robin]
+
+    def pick_residual_capacity(self) -> Optional[Pod]:
+        """§3.2.3: choose the pod with maximum residual service capacity."""
+        servable = self.servable_pods()
+        if not servable:
+            return None
+        now = self.node.env.now
+        return max(servable, key=lambda pod: pod.residual_capacity(now))
+
+    def any_servable_event(self) -> Event:
+        """Event that fires when at least one pod is servable (cold start)."""
+        event = Event(self.node.env)
+        if self.servable_pods():
+            event.succeed()
+        else:
+            self._ready_waiters.append(event)
+        return event
+
+    def _notify_ready(self, pod_event: Event) -> None:
+        pod = pod_event.value
+        for callback in self.pod_ready_callbacks:
+            callback(pod)
+        waiters, self._ready_waiters = self._ready_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def _notify_terminated(self, pod_event: Event) -> None:
+        pod = pod_event.value
+        for callback in self.pod_terminated_callbacks:
+            callback(pod)
+
+    # -- scaling ---------------------------------------------------------------------
+    def scale_to(self, desired: int) -> None:
+        desired = max(0, min(desired, self.spec.max_scale))
+        live = self.live_pods()
+        if desired > len(live):
+            for _ in range(desired - len(live)):
+                self._add_pod()
+            self.scale_up_events += 1
+        elif desired < len(live):
+            # Drain newest-first; never kill a pod mid-request if avoidable.
+            victims = sorted(live, key=lambda pod: pod.in_flight)[: len(live) - desired]
+            for pod in victims:
+                pod.terminate()
+            self.scale_down_events += 1
+
+    def ensure_scale(self, minimum: int) -> None:
+        if self.scale < minimum:
+            self.scale_to(minimum)
+
+    def _add_pod(self) -> Pod:
+        pod = self.kubelet.create_pod(self.spec, self.cpu_tag)
+        self.pods.append(pod)
+        pod.ready.callbacks.append(self._notify_ready)
+        pod.terminated.callbacks.append(self._notify_terminated)
+        return pod
+
+
+class Kubelet:
+    """Node-local pod lifecycle manager."""
+
+    def __init__(
+        self,
+        node: "WorkerNode",
+        cold_start_enabled: bool = True,
+        termination_lag: Optional[float] = None,
+    ) -> None:
+        self.node = node
+        self.cold_start_enabled = cold_start_enabled
+        self.termination_lag = (
+            termination_lag
+            if termination_lag is not None
+            else node.config.termination_lag
+        )
+        self.deployments: dict[str, Deployment] = {}
+        self.pods_created = 0
+
+    def deployment(self, spec: FunctionSpec, cpu_tag: str) -> Deployment:
+        """Get or create the deployment for a function."""
+        existing = self.deployments.get(cpu_tag)
+        if existing is not None:
+            return existing
+        deployment = Deployment(self, spec, cpu_tag)
+        self.deployments[cpu_tag] = deployment
+        return deployment
+
+    def create_pod(self, spec: FunctionSpec, cpu_tag: str) -> Pod:
+        """Create and start one pod; startup delay sampled when enabled."""
+        startup_delay = 0.0
+        if self.cold_start_enabled:
+            startup_delay = self.node.rng.lognormal_service(
+                f"startup/{spec.name}",
+                self.node.config.pod_startup_mean,
+                self.node.config.pod_startup_cv,
+            )
+        pod = Pod(
+            self.node,
+            spec,
+            cpu_tag=cpu_tag,
+            startup_delay=startup_delay,
+            termination_lag=self.termination_lag,
+        )
+        pod.start()
+        self.pods_created += 1
+        return pod
+
+    def health_check(self, pod: Pod) -> bool:
+        """TCP/HTTP-probe equivalent (§3.3): is the pod servable?"""
+        return pod.is_servable
+
+
+def desired_scale_for_concurrency(
+    total_in_flight: int, target_per_pod: int, minimum: int, maximum: int
+) -> int:
+    """The KPA sizing rule: ceil(concurrency / target), clamped."""
+    if target_per_pod <= 0:
+        raise ValueError("target_per_pod must be positive")
+    desired = math.ceil(total_in_flight / target_per_pod) if total_in_flight else 0
+    return max(minimum, min(desired, maximum))

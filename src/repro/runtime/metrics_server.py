@@ -1,0 +1,59 @@
+"""Metrics server: the control-plane sink that autoscalers scrape.
+
+Queue proxies (Knative) and the SPRIGHT gateway's metrics agent (reading the
+EPROXY/SPROXY eBPF metric maps) both push :class:`PodMetrics` here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PodMetrics:
+    """One scrape sample from one pod/function."""
+
+    function: str
+    timestamp: float
+    request_rate: float          # req/s over the reporter's window
+    concurrency: int             # in-flight requests
+    response_time: float = 0.0   # recent mean, seconds
+
+
+class MetricsServer:
+    """Latest-sample store, keyed by function name."""
+
+    def __init__(self, staleness_limit: float = 30.0) -> None:
+        self.staleness_limit = staleness_limit
+        self._latest: dict[str, PodMetrics] = {}
+        self._history: dict[str, list[PodMetrics]] = defaultdict(list)
+        self.reports_received = 0
+
+    def report(self, sample: PodMetrics) -> None:
+        self.reports_received += 1
+        self._latest[sample.function] = sample
+        self._history[sample.function].append(sample)
+
+    def latest(self, function: str, now: Optional[float] = None) -> Optional[PodMetrics]:
+        sample = self._latest.get(function)
+        if sample is None:
+            return None
+        if now is not None and now - sample.timestamp > self.staleness_limit:
+            return None
+        return sample
+
+    def request_rate(self, function: str, now: Optional[float] = None) -> float:
+        sample = self.latest(function, now)
+        return sample.request_rate if sample else 0.0
+
+    def concurrency(self, function: str, now: Optional[float] = None) -> int:
+        sample = self.latest(function, now)
+        return sample.concurrency if sample else 0
+
+    def history(self, function: str) -> list[PodMetrics]:
+        return list(self._history[function])
+
+    def functions(self) -> list[str]:
+        return sorted(self._latest)

@@ -1,0 +1,192 @@
+"""Pods: running function instances with lifecycle and concurrency limits.
+
+Captures the pieces of pod behaviour the paper's experiments hinge on:
+
+* **cold start** — a started pod is not servable for a startup delay
+  (seconds), during which it burns CPU on image/container init (Fig 12's
+  pre-warm spikes);
+* **concurrency limit** — at most N requests in parallel per pod (the
+  testbed configures 32); excess requests queue;
+* **sluggish termination** — Knative pods linger in 'terminating' for tens
+  of seconds while still holding CPU (Fig 12's 80 s drain).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..simcore import Event, Resource
+from ..stats import SlidingWindowRate
+from .spec import FunctionResult, FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import WorkerNode
+
+_instance_ids = itertools.count(1)
+
+
+class PodPhase(enum.Enum):
+    PENDING = "pending"
+    STARTING = "starting"
+    RUNNING = "running"
+    TERMINATING = "terminating"
+    TERMINATED = "terminated"
+
+
+class Pod:
+    """One instance of a function, schedulable and servable."""
+
+    def __init__(
+        self,
+        node: "WorkerNode",
+        spec: FunctionSpec,
+        cpu_tag: str,
+        startup_delay: float = 0.0,
+        startup_cpu_fraction: float = 0.8,
+        termination_lag: float = 0.0,
+        termination_cpu_fraction: float = 0.15,
+    ) -> None:
+        self.node = node
+        self.spec = spec
+        self.cpu_tag = cpu_tag
+        self.instance_id = next(_instance_ids)
+        self.phase = PodPhase.PENDING
+        self.startup_delay = startup_delay
+        self.startup_cpu_fraction = startup_cpu_fraction
+        self.termination_lag = termination_lag
+        self.termination_cpu_fraction = termination_cpu_fraction
+
+        self.ready: Event = Event(node.env)
+        self.terminated: Event = Event(node.env)
+        self._terminate_requested = False
+        self.healthy = True      # serving flag (probes / fault injection)
+        self.responsive = True   # does the pod answer probes at all
+        self._slots = Resource(node.env, capacity=spec.concurrency)
+        self.in_flight = 0
+        self.served = 0
+        self.rate_window = SlidingWindowRate(window=5.0)
+        self.context: dict = {}  # behavior-visible per-pod state
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> Event:
+        """Begin startup; returns the readiness event."""
+        if self.phase is not PodPhase.PENDING:
+            raise RuntimeError(f"pod {self.instance_id} already started")
+        self.phase = PodPhase.STARTING
+        self.node.env.process(self._startup(), name=f"startup-{self.cpu_tag}")
+        return self.ready
+
+    def _startup(self):
+        if self.startup_delay > 0:
+            # Container creation burns CPU while the pod is useless.
+            self.node.cpu.execute(
+                self.startup_delay * self.startup_cpu_fraction, self.cpu_tag
+            )
+            yield self.node.env.timeout(self.startup_delay)
+        self.phase = PodPhase.RUNNING
+        self.ready.succeed(self)
+
+    def terminate(self) -> Event:
+        """Begin (possibly slow) termination; returns the terminated event.
+
+        A pod killed mid-startup finishes starting first (as Kubernetes pods
+        in ContainerCreating do) and is then torn down; double terminates
+        are idempotent.
+        """
+        if self._terminate_requested:
+            return self.terminated
+        self._terminate_requested = True
+        self.node.env.process(self._teardown(), name=f"teardown-{self.cpu_tag}")
+        return self.terminated
+
+    def _teardown(self):
+        if self.phase in (PodPhase.PENDING, PodPhase.STARTING):
+            yield self.ready
+        self.phase = PodPhase.TERMINATING
+        if self.termination_lag > 0:
+            # The 'terminating-but-not-released' waste Fig 12 calls out.
+            self.node.cpu.execute(
+                self.termination_lag * self.termination_cpu_fraction, self.cpu_tag
+            )
+            yield self.node.env.timeout(self.termination_lag)
+        self.phase = PodPhase.TERMINATED
+        self.terminated.succeed(self)
+
+    @property
+    def is_servable(self) -> bool:
+        return self.phase is PodPhase.RUNNING and self.healthy
+
+    def fail(self) -> None:
+        """Fault injection: the pod crashes — refuses traffic and probes."""
+        self.healthy = False
+        self.responsive = False
+
+    def recover(self) -> None:
+        """The fault clears; the pod serves and answers probes again."""
+        self.healthy = True
+        self.responsive = True
+
+    def resize(self, concurrency: int) -> None:
+        """Vertical scaling (§3.7): change the pod's parallel-request slots."""
+        self._slots.set_capacity(concurrency)
+
+    # -- serving ------------------------------------------------------------------
+    def serve(self, payload: bytes, stream_name: Optional[str] = None):
+        """Process one request (generator). Returns a FunctionResult.
+
+        Waits for a concurrency slot, charges the sampled service time to the
+        pod's CPU tag, and runs the user behavior on the payload.
+        """
+        if self.phase not in (PodPhase.RUNNING, PodPhase.TERMINATING):
+            raise RuntimeError(
+                f"pod {self.cpu_tag}#{self.instance_id} is {self.phase.value}, not servable"
+            )
+        request = self._slots.request()
+        yield request
+        self.in_flight += 1
+        self.rate_window.observe(self.node.env.now)
+        try:
+            result = self.spec.behavior(payload, self.context)
+            service_time = (
+                result.service_time
+                if result.service_time is not None
+                else self._sample_service_time(stream_name)
+            )
+            service_time += self.spec.runtime_overhead_path + result.extra_service_time
+            if service_time > 0:
+                yield self.node.cpu.execute(service_time, self.cpu_tag)
+            if self.spec.runtime_overhead_bg > 0:
+                self.node.cpu.execute(self.spec.runtime_overhead_bg, self.cpu_tag)
+            self.served += 1
+            return result
+        finally:
+            self.in_flight -= 1
+            self._slots.release(request)
+
+    def _sample_service_time(self, stream_name: Optional[str]) -> float:
+        if self.spec.service_time <= 0:
+            return 0.0
+        stream = stream_name or f"service/{self.spec.name}"
+        return self.node.rng.lognormal_service(
+            stream, self.spec.service_time, self.spec.service_time_cv
+        )
+
+    # -- load-balancing inputs (§3.2.3 footnote 4) -----------------------------------
+    def max_capacity(self) -> float:
+        """MC_i: max request rate the pod can serve."""
+        if self.spec.service_time <= 0:
+            return float("inf")
+        return self.spec.concurrency / self.spec.service_time
+
+    def residual_capacity(self, now: float) -> float:
+        """RC_i,t = MC_i - r_i,t."""
+        capacity = self.max_capacity()
+        if capacity == float("inf"):
+            # Tie-break by instantaneous load for zero-cost functions.
+            return float("inf") if self.in_flight == 0 else 1e12 / (1 + self.in_flight)
+        return capacity - self.rate_window.rate(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Pod {self.cpu_tag}#{self.instance_id} {self.phase.value}>"

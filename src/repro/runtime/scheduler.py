@@ -1,0 +1,113 @@
+"""Placement engine with SPRIGHT's chain-affinity constraint (§3.8).
+
+The paper requires every function of a chain to land on the same node so
+they can share the chain's memory pool. The scheduler therefore places
+*chains*, not functions, using best-fit on remaining core capacity, and
+reports the resource fragmentation this causes (also discussed in §3.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .spec import ChainSpec
+
+
+class PlacementError(Exception):
+    """No node can host the chain."""
+
+
+@dataclass
+class NodeDescriptor:
+    """Scheduler's view of a node: capacity and current commitments."""
+
+    name: str
+    cores: int = 40
+    memory_mb: float = 192 * 1024
+    committed_cores: float = 0.0
+    committed_memory_mb: float = 0.0
+    chains: list[str] = field(default_factory=list)
+
+    @property
+    def free_cores(self) -> float:
+        return self.cores - self.committed_cores
+
+    @property
+    def free_memory_mb(self) -> float:
+        return self.memory_mb - self.committed_memory_mb
+
+
+def chain_core_request(chain: ChainSpec, per_function_cores: float = 0.5) -> float:
+    """Cores a chain requests: a fixed per-function ask plus the gateway's."""
+    return per_function_cores * len(chain.functions) + 0.5
+
+
+def chain_memory_request(chain: ChainSpec, pool_mb: float = 32.0) -> float:
+    return pool_mb + sum(spec.memory_mb for spec in chain.functions)
+
+
+class PlacementEngine:
+    """Best-fit, chain-at-a-time placement."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, NodeDescriptor] = {}
+        self.placements: dict[str, str] = {}  # chain name -> node name
+
+    def add_node(self, descriptor: NodeDescriptor) -> None:
+        if descriptor.name in self.nodes:
+            raise ValueError(f"node {descriptor.name!r} already registered")
+        self.nodes[descriptor.name] = descriptor
+
+    def place_chain(self, chain: ChainSpec, strategy: str = "best_fit") -> str:
+        """Pick a node for the whole chain; returns the node name.
+
+        ``best_fit`` packs tightly (keeps big nodes free for big chains);
+        ``spread`` places replicas of the same chain across distinct nodes
+        (the multi-node chain-unit deployment of §3.8).
+        """
+        if strategy not in ("best_fit", "spread"):
+            raise PlacementError(f"unknown strategy {strategy!r}")
+        cores = chain_core_request(chain)
+        memory = chain_memory_request(chain)
+        candidates = [
+            node
+            for node in self.nodes.values()
+            if node.free_cores >= cores and node.free_memory_mb >= memory
+        ]
+        if not candidates:
+            raise PlacementError(
+                f"no node has {cores:.1f} cores + {memory:.0f} MB for chain {chain.name!r}"
+            )
+        if strategy == "spread":
+            best = min(candidates, key=lambda node: (len(node.chains), -node.free_cores))
+        else:
+            # Best fit: the node left with the least slack.
+            best = min(candidates, key=lambda node: node.free_cores - cores)
+        best.committed_cores += cores
+        best.committed_memory_mb += memory
+        best.chains.append(chain.name)
+        self.placements[chain.name] = best.name
+        return best.name
+
+    def evict_chain(self, chain: ChainSpec) -> None:
+        node_name = self.placements.pop(chain.name, None)
+        if node_name is None:
+            raise PlacementError(f"chain {chain.name!r} is not placed")
+        node = self.nodes[node_name]
+        node.committed_cores -= chain_core_request(chain)
+        node.committed_memory_mb -= chain_memory_request(chain)
+        node.chains.remove(chain.name)
+
+    def fragmentation(self) -> float:
+        """Unusable-capacity fraction: free cores stranded on partly-full nodes."""
+        if not self.nodes:
+            return 0.0
+        stranded = sum(
+            node.free_cores for node in self.nodes.values() if node.chains
+        )
+        total = sum(node.cores for node in self.nodes.values())
+        return stranded / total
+
+    def node_of(self, chain_name: str) -> Optional[str]:
+        return self.placements.get(chain_name)

@@ -1,0 +1,58 @@
+"""From-scratch discrete-event simulation core.
+
+Public surface::
+
+    env = Environment()
+    cpu = CpuSet(env, cores=40)
+
+    def worker(env):
+        yield env.timeout(1.0)
+        yield cpu.execute(0.002, tag="fn")
+
+    env.process(worker(env))
+    env.run(until=10.0)
+"""
+
+from .environment import Environment, NORMAL, URGENT
+from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .process import Process
+from .resources import (
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    ResourceRequest,
+    Store,
+    StoreGet,
+    StorePut,
+)
+from .cpu import CpuAccounting, CpuSet, DedicatedCore
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "CpuAccounting",
+    "CpuSet",
+    "DedicatedCore",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "NORMAL",
+    "PriorityItem",
+    "PriorityStore",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "ResourceRequest",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+    "URGENT",
+]

@@ -1,0 +1,135 @@
+"""The simulation environment: clock plus prioritized event queue."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from math import inf
+from typing import Optional
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+# Scheduling priorities: URGENT beats NORMAL at the same timestamp. URGENT is
+# used for process initialization and interrupts so they preempt same-time
+# timeouts, matching intuitive causality.
+URGENT = 0
+NORMAL = 1
+
+
+class Environment:
+    """Coordinates processes and events on a simulated clock.
+
+    Time is a float in **seconds**. The environment is single-threaded and
+    deterministic: equal-time events are processed in schedule order.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Queue ``event`` to be processed after ``delay`` time units."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else inf
+
+    def step(self) -> None:
+        """Process the next scheduled event, advancing the clock."""
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("event queue is empty") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} was scheduled twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An unhandled failure crashes the simulation, loudly.
+            exc = event._value
+            assert isinstance(exc, BaseException)
+            raise exc
+
+    # -- run loop ---------------------------------------------------------------
+    def run(self, until: object = None) -> object:
+        """Run until the given time, event, or queue exhaustion.
+
+        ``until`` may be ``None`` (drain the queue), a number (absolute time
+        horizon), or an :class:`Event` (run until it has been processed and
+        return its value).
+        """
+        stop_event: Optional[Event] = None
+        horizon = inf
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event.value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise ValueError(
+                        f"until ({horizon}) must not be before now ({self._now})"
+                    )
+
+        try:
+            while self._queue and self.peek() <= horizon:
+                self.step()
+        except StopSimulation as stop:
+            finished = stop.args[0]
+            assert isinstance(finished, Event)
+            if not finished._ok and not finished.defused:
+                exc = finished._value
+                assert isinstance(exc, BaseException)
+                raise exc
+            return finished.value
+
+        if stop_event is not None and stop_event.callbacks is not None:
+            raise EmptySchedule(
+                "run() finished without the awaited event being triggered"
+            )
+        if horizon is not inf:
+            self._now = horizon
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event)

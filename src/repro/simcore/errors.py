@@ -1,0 +1,31 @@
+"""Exception types used by the discrete-event simulation core."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation core."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Environment.run` early."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised when the event queue runs dry before the run-until horizon."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt` so the interrupted process can decide how to
+    react (e.g. a pod being torn down versus merely rescheduled).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.cause!r})"

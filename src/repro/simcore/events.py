@@ -1,0 +1,218 @@
+"""Event primitives for the discrete-event engine.
+
+The design follows the classic generator-based DES model (as popularized by
+SimPy, reimplemented here from scratch): a process is a generator that yields
+events; the environment resumes the generator when the yielded event fires.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from .errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+PENDING = object()  # sentinel: event value not yet decided
+
+
+class Event:
+    """An event that may succeed (carry a value) or fail (carry an error).
+
+    Callbacks are invoked, in registration order, when the environment
+    processes the event. Processes waiting on the event are resumed through
+    such callbacks.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: object = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and has been scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (callbacks list is discarded)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: object = None) -> "Event":
+        """Set the event's value and schedule it for processing."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fail the event with ``exception`` and schedule it."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy outcome of ``event`` onto this event (chaining helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)  # type: ignore[arg-type]
+
+    # -- composition --------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Result of a condition event: maps fired events to their values."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> object:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def todict(self) -> dict[Event, object]:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConditionValue({self.events!r})"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events (all-of / any-of)."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        # Immediately check already-processed events; subscribe to the rest.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self._events and not self.triggered:
+            self.succeed(ConditionValue())
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            if event.triggered and event.ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)  # type: ignore[arg-type]
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires when every given event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires when at least one given event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

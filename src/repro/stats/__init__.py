@@ -1,0 +1,36 @@
+"""Measurement: latency recorders, summaries, CDFs, time series, tables."""
+
+from .recorder import (
+    Counter,
+    LatencyRecorder,
+    LatencySummary,
+    SlidingWindowRate,
+    confidence_interval_99,
+    percentile,
+    summarize,
+)
+from .export import read_json, series_to_rows, write_csv, write_json
+from .tables import format_table, ms, pct
+from .tracing import Segment, overhead_time, segments, service_time, waterfall
+
+__all__ = [
+    "Counter",
+    "LatencyRecorder",
+    "LatencySummary",
+    "SlidingWindowRate",
+    "confidence_interval_99",
+    "format_table",
+    "read_json",
+    "series_to_rows",
+    "write_csv",
+    "write_json",
+    "ms",
+    "pct",
+    "percentile",
+    "summarize",
+    "Segment",
+    "overhead_time",
+    "segments",
+    "service_time",
+    "waterfall",
+]

@@ -1,0 +1,200 @@
+"""Latency/throughput recording and summary statistics.
+
+Produces the quantities the paper reports: RPS over time (Figs 9, 11, 12),
+response-time CDFs per chain (Fig 10), percentile tables (Table 5), and
+mean/95/99 latencies with confidence intervals (Fig 5's error bars).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right, insort
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over one set of samples."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stddev": self.stddev,
+        }
+
+
+def percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Nearest-rank-with-interpolation percentile on pre-sorted data."""
+    if not sorted_samples:
+        raise ValueError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = fraction * (len(sorted_samples) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_samples[low]
+    weight = rank - low
+    return sorted_samples[low] * (1 - weight) + sorted_samples[high] * weight
+
+
+def summarize(samples: list[float]) -> LatencySummary:
+    if not samples:
+        raise ValueError("no samples to summarize")
+    ordered = sorted(samples)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((value - mean) ** 2 for value in ordered) / count
+    return LatencySummary(
+        count=count,
+        mean=mean,
+        p50=percentile(ordered, 0.50),
+        p95=percentile(ordered, 0.95),
+        p99=percentile(ordered, 0.99),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        stddev=math.sqrt(variance),
+    )
+
+
+def confidence_interval_99(samples: list[float]) -> tuple[float, float]:
+    """99% CI for the mean (normal approximation, as the paper reports)."""
+    if len(samples) < 2:
+        raise ValueError("need at least two samples")
+    summary = summarize(samples)
+    half_width = 2.576 * summary.stddev / math.sqrt(len(samples))
+    return summary.mean - half_width, summary.mean + half_width
+
+
+class LatencyRecorder:
+    """Collects (completion_time, latency) samples, optionally keyed by group."""
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    def record(self, completion_time: float, latency: float, group: str = "") -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples[group].append((completion_time, latency))
+
+    def groups(self) -> list[str]:
+        return sorted(self._samples)
+
+    def count(self, group: str = "") -> int:
+        return len(self._samples[group])
+
+    def latencies(self, group: str = "") -> list[float]:
+        return [latency for _, latency in self._samples[group]]
+
+    def all_latencies(self) -> list[float]:
+        return [
+            latency
+            for samples in self._samples.values()
+            for _, latency in samples
+        ]
+
+    def summary(self, group: str = "") -> LatencySummary:
+        return summarize(self.latencies(group))
+
+    def overall_summary(self) -> LatencySummary:
+        return summarize(self.all_latencies())
+
+    def cdf(self, group: str = "", points: int = 200) -> list[tuple[float, float]]:
+        """(latency, fraction <= latency) pairs — Fig 10's left column."""
+        ordered = sorted(self.latencies(group))
+        if not ordered:
+            return []
+        step = max(1, len(ordered) // points)
+        out = []
+        for index in range(0, len(ordered), step):
+            out.append((ordered[index], (index + 1) / len(ordered)))
+        out.append((ordered[-1], 1.0))
+        return out
+
+    def throughput_series(
+        self, bucket: float = 1.0, group: str = "", until: Optional[float] = None
+    ) -> list[tuple[float, float]]:
+        """Completed requests/second per time bucket — Figs 9/11/12."""
+        samples = self._samples[group]
+        if not samples:
+            return []
+        horizon = until if until is not None else max(t for t, _ in samples)
+        buckets = int(math.ceil(horizon / bucket)) + 1
+        counts = [0] * buckets
+        for completion_time, _ in samples:
+            index = int(completion_time / bucket)
+            if index < buckets:
+                counts[index] += 1
+        return [(index * bucket, counts[index] / bucket) for index in range(buckets)]
+
+    def latency_series(
+        self, bucket: float = 1.0, group: str = ""
+    ) -> list[tuple[float, float]]:
+        """Mean latency per time bucket — Fig 10 middle column, Fig 11/12 (a)."""
+        samples = self._samples[group]
+        if not samples:
+            return []
+        sums: dict[int, float] = defaultdict(float)
+        counts: dict[int, int] = defaultdict(int)
+        for completion_time, latency in samples:
+            index = int(completion_time / bucket)
+            sums[index] += latency
+            counts[index] += 1
+        return [
+            (index * bucket, sums[index] / counts[index]) for index in sorted(sums)
+        ]
+
+
+class Counter:
+    """A named monotonic counter set (drops, retries, scale events, ...)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+
+class SlidingWindowRate:
+    """Request rate over a sliding window (autoscaler + load balancer input)."""
+
+    def __init__(self, window: float = 10.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._events: list[float] = []
+
+    def observe(self, now: float) -> None:
+        insort(self._events, now)
+
+    def rate(self, now: float) -> float:
+        cutoff = now - self.window
+        start = bisect_right(self._events, cutoff)
+        if start:
+            del self._events[:start]
+        return len(self._events) / self.window

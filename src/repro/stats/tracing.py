@@ -1,0 +1,78 @@
+"""Per-request timeline analysis: where did the milliseconds go?
+
+Requests created with ``request.enable_timeline()`` collect milestone
+timestamps as they traverse a dataplane (ingress, broker/gateway, per-
+function delivery and completion, response). These helpers turn the raw
+timeline into per-segment durations and rendered waterfalls — the tool you
+reach for when a chain's tail latency needs explaining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class Segment:
+    """One leg of a request's journey."""
+
+    name: str
+    start: float
+    duration: float
+
+
+def segments(timeline: Sequence[tuple[str, float]], created_at: float) -> list[Segment]:
+    """Milestone list -> ordered segments (each ends at its milestone)."""
+    out = []
+    previous = created_at
+    for name, stamp in timeline:
+        out.append(Segment(name=name, start=previous, duration=stamp - previous))
+        previous = stamp
+    return out
+
+
+def service_time(timeline: Sequence[tuple[str, float]]) -> float:
+    """Total time inside function service (deliver:* -> served:* pairs)."""
+    total = 0.0
+    deliveries: dict[str, list[float]] = {}
+    for name, stamp in timeline:
+        if name.startswith("deliver:"):
+            deliveries.setdefault(name.split(":", 1)[1], []).append(stamp)
+        elif name.startswith("served:"):
+            function = name.split(":", 1)[1]
+            stack = deliveries.get(function)
+            if stack:
+                total += stamp - stack.pop(0)
+    return total
+
+
+def overhead_time(
+    timeline: Sequence[tuple[str, float]], created_at: float, completed_at: float
+) -> float:
+    """Everything that is not function service: the dataplane's share."""
+    return (completed_at - created_at) - service_time(timeline)
+
+
+def waterfall(
+    timeline: Sequence[tuple[str, float]],
+    created_at: float,
+    width: int = 50,
+) -> str:
+    """ASCII waterfall of one request's segments."""
+    parts = segments(timeline, created_at)
+    if not parts:
+        return "(empty timeline)"
+    total = parts[-1].start + parts[-1].duration - created_at
+    if total <= 0:
+        return "(zero-duration timeline)"
+    lines = []
+    for segment in parts:
+        offset = int((segment.start - created_at) / total * width)
+        length = max(1, int(segment.duration / total * width))
+        bar = " " * offset + "#" * length
+        lines.append(
+            f"{segment.name:20s} {bar:<{width + 2}s} {segment.duration * 1e6:9.1f} us"
+        )
+    lines.append(f"{'total':20s} {'':{width + 2}s} {total * 1e6:9.1f} us")
+    return "\n".join(lines)

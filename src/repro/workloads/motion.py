@@ -1,0 +1,118 @@
+"""IoT motion-detection workload (§4.1 scenario 2, Fig 11).
+
+The paper replays the MERL motion detector dataset [72]: office-building
+PIR sensors, so activity arrives in bursts (people walking corridors)
+separated by long quiet gaps — exactly the intermittent pattern that makes
+cold starts hurt. The dataset itself is not redistributable here, so
+:func:`synthesize_motion_trace` generates a statistically similar trace:
+alternating active/idle periods with bursty arrivals inside active periods.
+
+The chain is Fig 8(b): sensor function -> actuator function, 1 ms CPU each.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..dataplane.base import RequestClass
+from ..runtime import FunctionResult, FunctionSpec
+from .generators import TraceEvent
+
+SENSOR_SERVICE_TIME = 1e-3    # paper: both functions set to 1 ms
+ACTUATOR_SERVICE_TIME = 1e-3
+
+
+def _sensor_behavior(payload: bytes, context: dict) -> FunctionResult:
+    """Track per-sensor state transitions; emit an actuation command."""
+    state = context.setdefault("sensor_state", {})
+    try:
+        event = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError):
+        event = {"sensor": "unknown", "motion": True}
+    sensor_id = str(event.get("sensor", "unknown"))
+    state[sensor_id] = bool(event.get("motion", True))
+    command = {"light": sensor_id, "on": state[sensor_id]}
+    return FunctionResult(payload=json.dumps(command).encode(), topic="actuate")
+
+
+def _actuator_behavior(payload: bytes, context: dict) -> FunctionResult:
+    """Apply the command to the light registry."""
+    lights = context.setdefault("lights", {})
+    try:
+        command = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError):
+        command = {"light": "unknown", "on": True}
+    lights[str(command.get("light"))] = bool(command.get("on", True))
+    return FunctionResult(payload=b'{"ok": true}')
+
+
+def motion_functions(min_scale: int = 1) -> list[FunctionSpec]:
+    """Sensor + actuator chain; ``min_scale=0`` enables Knative zero-scaling."""
+    return [
+        FunctionSpec(
+            name="sensor",
+            service_time=SENSOR_SERVICE_TIME,
+            service_time_cv=0.15,
+            min_scale=min_scale,
+            behavior=_sensor_behavior,
+        ),
+        FunctionSpec(
+            name="actuator",
+            service_time=ACTUATOR_SERVICE_TIME,
+            service_time_cv=0.15,
+            min_scale=min_scale,
+            behavior=_actuator_behavior,
+        ),
+    ]
+
+
+def motion_request_class() -> RequestClass:
+    return RequestClass(
+        name="motion",
+        sequence=["sensor", "actuator"],
+        payload_size=96,
+        response_size=64,
+    )
+
+
+@dataclass
+class MotionTraceParams:
+    """Shape of the synthetic MERL-like trace."""
+
+    duration: float = 3600.0        # the paper runs 1 hour
+    active_period_mean: float = 90.0
+    idle_period_mean: float = 240.0  # long gaps: zero-scale kicks in (>30 s)
+    burst_interarrival_mean: float = 3.0
+    sensors: int = 16
+
+
+def synthesize_motion_trace(node, params: MotionTraceParams) -> list[TraceEvent]:
+    """Alternating active/idle periods; bursty arrivals while active."""
+    request_class = motion_request_class()
+    trace: list[TraceEvent] = []
+    now = 0.0
+    active = False
+    while now < params.duration:
+        if active:
+            period = node.rng.exponential("motion/active", params.active_period_mean)
+            end = min(now + period, params.duration)
+            while now < end:
+                gap = node.rng.exponential(
+                    "motion/burst", params.burst_interarrival_mean
+                )
+                now += gap
+                if now >= end:
+                    break
+                sensor = int(
+                    node.rng.uniform("motion/sensor", 0, params.sensors)
+                )
+                payload = json.dumps({"sensor": sensor, "motion": True}).encode()
+                trace.append(
+                    TraceEvent(time=now, request_class=request_class, payload=payload)
+                )
+            now = end
+        else:
+            now += node.rng.exponential("motion/idle", params.idle_period_mean)
+        active = not active
+    return trace

@@ -1,0 +1,75 @@
+"""Calibration tests: the §3.2.2 spot measurements must land in band.
+
+The paper's absolute numbers came from a Cloudlab testbed; the simulation's
+must preserve the *orderings* and *rough factors* the paper's conclusions
+rest on. These tests run the Fig 5 microbenchmark (2-function chain,
+ab-style closed loop) and assert each quoted relationship.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+@pytest.fixture(scope="module")
+def points():
+    out = {}
+    for plane in ("knative", "s-spright", "d-spright"):
+        for concurrency in (1, 32):
+            out[(plane, concurrency)] = fig5.run_point(plane, concurrency, duration=1.0)
+    return out
+
+
+def test_latency_ordering_at_low_concurrency(points):
+    """Paper @32: D 0.02 ms < S 0.024 ms << Kn 0.138 ms."""
+    knative = points[("knative", 1)].mean_latency_ms
+    s_spright = points[("s-spright", 1)].mean_latency_ms
+    d_spright = points[("d-spright", 1)].mean_latency_ms
+    assert d_spright < s_spright < knative
+    # Knative is several-fold slower than S-SPRIGHT (paper: ~5.8x).
+    assert 2.0 < knative / s_spright < 12.0
+
+
+def test_spright_latency_sub_millisecond(points):
+    assert points[("s-spright", 1)].mean_latency_ms < 0.5
+    assert points[("d-spright", 1)].mean_latency_ms < 0.5
+
+
+def test_rps_advantage_at_concurrency_32(points):
+    """Paper: D 50.3K / S 41.7K vs Kn 7.2K — a ~5.7x gap."""
+    knative = points[("knative", 32)].rps
+    s_spright = points[("s-spright", 32)].rps
+    assert 3.0 < s_spright / knative < 12.0
+
+
+def test_cpu_ordering_at_concurrency_1(points):
+    """Paper: S 32% << Kn 143% << D 308% at concurrency 1."""
+    knative = points[("knative", 1)].total_cpu
+    s_spright = points[("s-spright", 1)].total_cpu
+    d_spright = points[("d-spright", 1)].total_cpu
+    assert s_spright < knative < d_spright
+    # S-SPRIGHT is many-fold cheaper than polling (paper: 9.6x).
+    assert d_spright / s_spright > 5.0
+
+
+def test_spright_cpu_is_load_proportional(points):
+    """CPU grows with load for S-SPRIGHT; D's poll floor dominates at idle."""
+    s_low = points[("s-spright", 1)].total_cpu
+    s_high = points[("s-spright", 32)].total_cpu
+    assert s_high > 5.0 * s_low
+    d_low = points[("d-spright", 1)].total_cpu
+    d_high = points[("d-spright", 32)].total_cpu
+    assert d_high < 3.0 * d_low  # mostly the same spinning cores
+
+
+def test_knative_queue_proxies_dominate_its_cpu(points):
+    """Paper: the queue proxy consumes 70% of Knative's CPU."""
+    knative = points[("knative", 32)]
+    assert 0.4 < knative.queue_proxy_cpu / knative.total_cpu < 0.95
+
+
+def test_knative_cpu_explodes_under_concurrency(points):
+    """Paper: 143% at c=1 -> 1585% at c=32 (an ~11x jump)."""
+    low = points[("knative", 1)].total_cpu
+    high = points[("knative", 32)].total_cpu
+    assert high / low > 4.0

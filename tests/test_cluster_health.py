@@ -1,0 +1,223 @@
+"""Tests for multi-node clusters, health probing, and vertical scaling."""
+
+import pytest
+
+from repro.dataplane import SSprightDataplane
+from repro.dataplane.base import Request, RequestClass
+from repro.runtime import (
+    Cluster,
+    ClusterError,
+    ClusterIngress,
+    FunctionSpec,
+    HealthProber,
+    Kubelet,
+    ProbePolicy,
+    VerticalPodScaler,
+    VerticalScalePolicy,
+    WorkerNode,
+    fragmentation_report,
+    sequential_chain,
+)
+
+
+def chain_spec():
+    return sequential_chain(
+        "pipeline",
+        [
+            FunctionSpec(name="fn-1", service_time=10e-6),
+            FunctionSpec(name="fn-2", service_time=10e-6),
+        ],
+    )
+
+
+def plane_factory(node):
+    counter = getattr(plane_factory, "_counter", 0)
+    plane_factory._counter = counter + 1
+    return SSprightDataplane(
+        node,
+        [
+            FunctionSpec(name="fn-1", service_time=10e-6),
+            FunctionSpec(name="fn-2", service_time=10e-6),
+        ],
+        chain_name=f"pipeline-{node.name}-{counter}",
+    )
+
+
+# -- cluster --------------------------------------------------------------------
+
+def test_cluster_nodes_share_one_clock():
+    cluster = Cluster(node_count=3)
+    assert len(cluster.nodes) == 3
+    assert all(node.env is cluster.env for node in cluster.nodes)
+    assert len({node.name for node in cluster.nodes}) == 3
+
+
+def test_cluster_requires_nodes():
+    with pytest.raises(ClusterError):
+        Cluster(node_count=0)
+
+
+def test_chain_units_placed_one_per_node():
+    cluster = Cluster(node_count=2)
+    ingress = ClusterIngress(cluster)
+    units = ingress.deploy_chain_units(chain_spec(), plane_factory)
+    assert len(units) == 2
+    assert {unit.node.name for unit in units} == {"worker-1", "worker-2"}
+    report = fragmentation_report(cluster)
+    assert report["chains_per_node"] == {"worker-1": 1, "worker-2": 1}
+
+
+def test_too_many_replicas_rejected():
+    cluster = Cluster(node_count=1)
+    ingress = ClusterIngress(cluster)
+    with pytest.raises(ClusterError, match="replicas"):
+        ingress.deploy_chain_units(chain_spec(), plane_factory, replicas=2)
+
+
+def test_ingress_balances_across_units():
+    cluster = Cluster(node_count=2)
+    ingress = ClusterIngress(cluster, policy="least_loaded")
+    ingress.deploy_chain_units(chain_spec(), plane_factory)
+    request_class = RequestClass(name="t", sequence=["fn-1", "fn-2"], payload_size=64)
+
+    def client(env):
+        for _ in range(10):
+            request = Request(
+                request_class=request_class, payload=b"x" * 64, created_at=env.now
+            )
+            yield env.process(ingress.submit(request))
+
+    # Concurrent clients so in-flight counts actually differ at pick time.
+    for _ in range(4):
+        cluster.env.process(client(cluster.env))
+    cluster.run(until=5.0)
+    served = [unit.served for unit in ingress.units]
+    assert sum(served) == 40
+    assert all(count > 0 for count in served)
+
+
+def test_round_robin_policy_alternates():
+    cluster = Cluster(node_count=2)
+    ingress = ClusterIngress(cluster, policy="round_robin")
+    ingress.deploy_chain_units(chain_spec(), plane_factory)
+    picks = [ingress.pick_unit() for _ in range(4)]
+    assert picks[0] is not picks[1]
+    assert picks[0] is picks[2]
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ClusterError, match="policy"):
+        ClusterIngress(Cluster(node_count=1), policy="random")
+
+
+# -- health probing ----------------------------------------------------------------
+
+def make_probed_deployment(interval=1.0):
+    node = WorkerNode()
+    kubelet = Kubelet(node, cold_start_enabled=False, termination_lag=0.0)
+    deployment = kubelet.deployment(
+        FunctionSpec(name="f", min_scale=2, max_scale=4), "t/fn/f"
+    )
+    deployment.scale_to(2)
+    prober = HealthProber(
+        node, ProbePolicy(interval=interval, failure_threshold=2)
+    )
+    prober.watch(deployment)
+    prober.start()
+    node.run(until=0.01)
+    return node, deployment, prober
+
+
+def test_prober_keeps_healthy_pods_servable():
+    node, deployment, prober = make_probed_deployment()
+    node.run(until=10.0)
+    assert prober.probes_sent > 0
+    assert prober.pods_marked_down == 0
+    assert len(deployment.servable_pods()) == 2
+
+
+def test_failed_pod_leaves_rotation_and_recovers():
+    node, deployment, prober = make_probed_deployment()
+    victim = deployment.servable_pods()[0]
+
+    def inject(env):
+        yield env.timeout(2.0)
+        victim.fail()
+        yield env.timeout(10.0)
+        victim.recover()  # fault clears; prober confirms
+
+    node.env.process(inject(node.env))
+    node.run(until=5.0)
+    assert not victim.is_servable
+    assert victim not in deployment.servable_pods()
+    assert prober.pods_marked_down == 1
+    node.run(until=20.0)
+    assert victim.is_servable
+
+
+def test_failed_pod_excluded_from_dfr_routing():
+    node = WorkerNode()
+    plane = SSprightDataplane(
+        node,
+        [FunctionSpec(name="f", service_time=10e-6, min_scale=2, max_scale=2)],
+    )
+    plane.deploy()
+    node.run(until=0.01)
+    pods = plane.deployments["f"].servable_pods()
+    pods[0].fail()
+    picks = {plane.runtime.routing.pick_instance("f").instance_id for _ in range(10)}
+    assert picks == {pods[1].instance_id}
+
+
+# -- vertical scaling --------------------------------------------------------------
+
+def test_vertical_scaler_grows_saturated_pod():
+    node = WorkerNode()
+    kubelet = Kubelet(node, cold_start_enabled=False, termination_lag=0.0)
+    deployment = kubelet.deployment(
+        FunctionSpec(name="f", concurrency=8, min_scale=1), "t/fn/f"
+    )
+    deployment.scale_to(1)
+    node.run(until=0.01)
+    pod = deployment.servable_pods()[0]
+    scaler = VerticalPodScaler(
+        node, VerticalScalePolicy(tick_interval=1.0, step=8, min_concurrency=8)
+    )
+    scaler.watch(deployment)
+    scaler.start()
+    pod.in_flight = 8  # saturated
+    node.run(until=2.5)
+    assert scaler.scale_ups >= 1
+    assert scaler.capacity_of(pod) > 8
+    pod.in_flight = 0  # idle again
+    node.run(until=10.0)
+    assert scaler.scale_downs >= 1
+    assert scaler.capacity_of(pod) == 8
+
+
+def test_pod_resize_unblocks_waiters():
+    node = WorkerNode()
+    kubelet = Kubelet(node, cold_start_enabled=False)
+    pod = kubelet.create_pod(
+        FunctionSpec(name="f", service_time=0.05, service_time_cv=0.0, concurrency=1),
+        cpu_tag="t/fn/f",
+    )
+    done = []
+
+    def client(env, name):
+        yield pod.ready
+        yield env.process(pod.serve(b"x"))
+        done.append((name, round(env.now, 3)))
+
+    node.env.process(client(node.env, "a"))
+    node.env.process(client(node.env, "b"))
+
+    def grow(env):
+        yield env.timeout(0.01)
+        pod.resize(2)  # second request now runs concurrently
+
+    node.env.process(grow(node.env))
+    node.run(until=1.0)
+    assert len(done) == 2
+    # Both finished near t=0.05/0.06, not serialized to 0.10.
+    assert done[1][1] < 0.09

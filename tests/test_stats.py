@@ -1,0 +1,143 @@
+"""Tests for the measurement layer: percentiles, CDFs, series, counters."""
+
+import pytest
+
+from repro.stats import (
+    Counter,
+    LatencyRecorder,
+    SlidingWindowRate,
+    confidence_interval_99,
+    format_table,
+    ms,
+    pct,
+    percentile,
+    summarize,
+)
+
+
+def test_percentile_basic():
+    samples = sorted([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 1.0) == 5.0
+    assert percentile(samples, 0.5) == 3.0
+
+
+def test_percentile_interpolates():
+    samples = [1.0, 2.0]
+    assert percentile(samples, 0.5) == pytest.approx(1.5)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_summarize_fields():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.p99 >= summary.p95 >= summary.p50
+    assert summary.as_dict()["count"] == 4
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_confidence_interval_contains_mean():
+    samples = [10.0 + (i % 5) for i in range(100)]
+    low, high = confidence_interval_99(samples)
+    mean = sum(samples) / len(samples)
+    assert low < mean < high
+
+
+def test_recorder_groups_and_overall():
+    recorder = LatencyRecorder()
+    recorder.record(1.0, 0.010, group="a")
+    recorder.record(2.0, 0.020, group="b")
+    recorder.record(3.0, 0.030, group="a")
+    assert recorder.count("a") == 2
+    assert recorder.count("b") == 1
+    assert sorted(recorder.groups()) == ["a", "b"]
+    assert len(recorder.all_latencies()) == 3
+    assert recorder.overall_summary().count == 3
+
+
+def test_recorder_negative_latency_rejected():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(1.0, -0.1)
+
+
+def test_recorder_cdf_monotone():
+    recorder = LatencyRecorder()
+    for value in (5, 1, 3, 2, 4):
+        recorder.record(0.0, value / 1000)
+    cdf = recorder.cdf()
+    latencies = [point[0] for point in cdf]
+    fractions = [point[1] for point in cdf]
+    assert latencies == sorted(latencies)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+
+
+def test_recorder_throughput_series():
+    recorder = LatencyRecorder()
+    for t in (0.1, 0.2, 1.5, 2.9):
+        recorder.record(t, 0.001)
+    series = recorder.throughput_series(bucket=1.0, until=3.0)
+    rates = dict(series)
+    assert rates[0.0] == pytest.approx(2.0)
+    assert rates[1.0] == pytest.approx(1.0)
+    assert rates[2.0] == pytest.approx(1.0)
+
+
+def test_recorder_latency_series_means():
+    recorder = LatencyRecorder()
+    recorder.record(0.5, 0.010)
+    recorder.record(0.6, 0.030)
+    recorder.record(1.5, 0.050)
+    series = dict(recorder.latency_series(bucket=1.0))
+    assert series[0.0] == pytest.approx(0.020)
+    assert series[1.0] == pytest.approx(0.050)
+
+
+def test_counter():
+    counter = Counter()
+    counter.incr("drops")
+    counter.incr("drops", 4)
+    assert counter.get("drops") == 5
+    assert counter.get("unknown") == 0
+    assert counter.as_dict() == {"drops": 5}
+
+
+def test_sliding_window_rate():
+    window = SlidingWindowRate(window=10.0)
+    for t in range(5):
+        window.observe(float(t))
+    assert window.rate(5.0) == pytest.approx(0.5)
+    # Old events age out.
+    assert window.rate(100.0) == 0.0
+
+
+def test_sliding_window_validation():
+    with pytest.raises(ValueError):
+        SlidingWindowRate(window=0)
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["long-name", 22222.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0]
+    assert "22,222" in lines[3]
+
+
+def test_unit_helpers():
+    assert ms(0.5) == 500.0
+    assert pct(0.25) == 25.0

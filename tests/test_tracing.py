@@ -1,0 +1,103 @@
+"""Tests for per-request timelines and the waterfall analysis."""
+
+import pytest
+
+from repro.dataplane import (
+    GrpcDataplane,
+    KnativeDataplane,
+    Request,
+    RequestClass,
+    SSprightDataplane,
+)
+from repro.runtime import FunctionSpec, WorkerNode
+from repro.stats.tracing import overhead_time, segments, service_time, waterfall
+
+
+def run_traced(plane_cls):
+    node = WorkerNode()
+    functions = [
+        FunctionSpec(name="fn-1", service_time=1e-3, service_time_cv=0.0),
+        FunctionSpec(name="fn-2", service_time=2e-3, service_time_cv=0.0),
+    ]
+    plane = plane_cls(node, functions)
+    plane.deploy()
+    request = Request(
+        request_class=RequestClass(name="t", sequence=["fn-1", "fn-2"], payload_size=64),
+        payload=b"x" * 64,
+        created_at=0.0,
+    ).enable_timeline()
+
+    def driver(env):
+        yield env.process(plane.submit(request))
+
+    node.env.process(driver(node.env))
+    node.run(until=5.0)
+    return request
+
+
+@pytest.mark.parametrize(
+    "plane_cls", [KnativeDataplane, GrpcDataplane, SSprightDataplane]
+)
+def test_timeline_has_expected_milestones(plane_cls):
+    request = run_traced(plane_cls)
+    names = [name for name, _ in request.timeline]
+    assert "deliver:fn-1" in names
+    assert "served:fn-2" in names
+    assert names[-1] == "response"
+    stamps = [stamp for _, stamp in request.timeline]
+    assert stamps == sorted(stamps)
+
+
+def test_timeline_disabled_by_default():
+    node = WorkerNode()
+    plane = SSprightDataplane(node, [FunctionSpec(name="f", service_time=0.0)])
+    plane.deploy()
+    request = Request(
+        request_class=RequestClass(name="t", sequence=["f"], payload_size=8),
+        payload=b"x" * 8,
+        created_at=0.0,
+    )
+
+    def driver(env):
+        yield env.process(plane.submit(request))
+
+    node.env.process(driver(node.env))
+    node.run(until=1.0)
+    assert request.timeline is None  # zero overhead when not requested
+
+
+def test_service_time_extraction():
+    request = run_traced(SSprightDataplane)
+    served = service_time(request.timeline)
+    # fn-1 = 1 ms, fn-2 = 2 ms, CV 0.
+    assert served == pytest.approx(3e-3, rel=0.05)
+    overhead = overhead_time(request.timeline, request.created_at, request.completed_at)
+    assert 0 < overhead < served  # SPRIGHT overhead well under service time
+
+
+def test_knative_overhead_dominates_spright():
+    knative = run_traced(KnativeDataplane)
+    spright = run_traced(SSprightDataplane)
+    kn_overhead = overhead_time(knative.timeline, knative.created_at, knative.completed_at)
+    sp_overhead = overhead_time(spright.timeline, spright.created_at, spright.completed_at)
+    assert kn_overhead > 2 * sp_overhead
+
+
+def test_segments_partition_the_timeline():
+    request = run_traced(SSprightDataplane)
+    parts = segments(request.timeline, request.created_at)
+    total = sum(segment.duration for segment in parts)
+    last_stamp = request.timeline[-1][1]
+    assert total == pytest.approx(last_stamp - request.created_at)
+
+
+def test_waterfall_renders():
+    request = run_traced(SSprightDataplane)
+    art = waterfall(request.timeline, request.created_at)
+    assert "deliver:fn-1" in art
+    assert "total" in art
+    assert "#" in art
+
+
+def test_waterfall_empty():
+    assert "empty" in waterfall([], 0.0)
