@@ -11,9 +11,17 @@ changes with it.
 from .auditor import (
     AuditTable,
     Auditor,
+    DESCRIPTOR_WIRE_BYTES,
     OverheadKind,
     RequestTrace,
     Stage,
 )
 
-__all__ = ["AuditTable", "Auditor", "OverheadKind", "RequestTrace", "Stage"]
+__all__ = [
+    "AuditTable",
+    "Auditor",
+    "DESCRIPTOR_WIRE_BYTES",
+    "OverheadKind",
+    "RequestTrace",
+    "Stage",
+]

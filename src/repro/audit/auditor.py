@@ -7,6 +7,14 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..mem import DESCRIPTOR_SIZE
+
+#: Bytes crossing sockets/rings per within-chain hop in SPRIGHT — the
+#: context for Table 2's zero rows: only this versioned, generation-tagged
+#: descriptor moves between functions, never the payload. (Was 16 in the
+#: paper's v1 layout; v2 adds the version header and the ABA generation.)
+DESCRIPTOR_WIRE_BYTES = DESCRIPTOR_SIZE
+
 
 class OverheadKind(enum.Enum):
     """The six overhead classes audited in Tables 1 and 2."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .mem import set_default_sanitize
 from .experiments import (
     ablations,
     audits,
@@ -128,11 +129,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the report (and a JSON copy) under this directory",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every SPRIGHT chain in memory-safety checked mode: the "
+        "generation-tagged sanitizer watches the shared pools, counts "
+        "violations under sanitizer/* node counters, and reports buffers "
+        "leaked at chain teardown",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize:
+        set_default_sanitize(True)
     report = COMMANDS[args.command](args)
     print(report)
     if args.out:

@@ -20,8 +20,10 @@ from ...mem import (
     BufferHandle,
     PacketDescriptor,
     PollingConsumer,
+    PoolSanitizer,
     RteRing,
     SharedMemoryManager,
+    default_sanitize,
 )
 from ...runtime import Deployment, MetricsServer, PodMetrics, RESPONSE
 from ...runtime.pod import Pod
@@ -39,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class SprightMessage:
     """Side-band state travelling with a descriptor through the chain.
 
-    The payload itself stays in shared memory; only the 16-byte descriptor
+    The payload itself stays in shared memory; only the 24-byte descriptor
     crosses sockets/rings. ``remaining`` drives sequence-style workloads
     (Table 3); when it is None the worker consults the DFR routing table by
     topic instead (§3.2.3's publish/subscribe model).
@@ -55,6 +57,7 @@ class SprightMessage:
     sender_instance: int = GATEWAY_INSTANCE_ID
     response: bytes = b""
     pending_stage: Optional[Stage] = None  # stage of the hop in flight
+    descriptor: Optional[PacketDescriptor] = None  # wire form of the hop in flight
 
     def next_stage(self, to_gateway: bool) -> Optional[Stage]:
         """Audit stage for the next hop (response hops are not staged)."""
@@ -244,6 +247,7 @@ class SprightChainRuntime:
         security_enabled: bool = True,
         pool_capacity: int = 8192,
         pool_buffer_size: int = 16384,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if transport_kind not in ("sproxy", "ring"):
             raise ValueError(f"unknown transport {transport_kind!r}")
@@ -260,6 +264,15 @@ class SprightChainRuntime:
             buffer_size=pool_buffer_size, capacity=pool_capacity
         )
         self.pool = self.manager.attach(self.manager.file_prefix)
+        # Checked mode: the sanitizer watches the chain's pool, counting
+        # violations into the node counters (``sanitizer/*``) and reporting
+        # buffers leaked at teardown with their allocation sites.
+        if sanitize is None:
+            sanitize = default_sanitize()
+        self.sanitizer: Optional[PoolSanitizer] = None
+        if sanitize:
+            self.sanitizer = PoolSanitizer(counter=node.counters)
+            self.pool.attach_sanitizer(self.sanitizer)
 
         self.security = (
             SecurityDomain(node.map_registry, chain_name) if security_enabled else None
@@ -384,10 +397,12 @@ class SprightChainRuntime:
             next_fn=pod.instance_id,
             shm_offset=message.handle.offset,
             length=message.handle.size,
+            generation=message.handle.generation,
         )
         stage = message.next_stage(to_gateway=False)
         message.hop_index += 1
         message.pending_stage = stage
+        message.descriptor = descriptor
         sent = yield from self.transport.send(
             endpoint, descriptor, message, ops, message.trace, stage
         )
@@ -398,9 +413,11 @@ class SprightChainRuntime:
             next_fn=GATEWAY_INSTANCE_ID,
             shm_offset=message.handle.offset,
             length=message.handle.size,
+            generation=message.handle.generation,
         )
         message.hop_index += 1
         message.pending_stage = None
+        message.descriptor = descriptor
         sent = yield from self.transport.send(
             endpoint, descriptor, message, ops, message.trace, None
         )
@@ -431,8 +448,9 @@ class SprightChainRuntime:
         yield from self.transport.receive_costs(
             endpoint, ops, message.trace, message.pending_stage
         )
-        # Zero-copy: the function reads the payload in place.
-        payload = self.pool.read(message.handle)
+        # Zero-copy: the function reads the payload in place, resolving the
+        # wire descriptor's (offset, generation) identity through the pool.
+        payload = self._resolve_payload(message)
         if message.request is not None:
             message.request.mark(f"deliver:{function_name}", self.node.env.now)
         result = yield from pod.serve(payload)
@@ -465,11 +483,22 @@ class SprightChainRuntime:
             assert isinstance(message, SprightMessage)
             self.node.env.process(self._finish_response(ops, message))
 
+    def _resolve_payload(self, message: SprightMessage) -> bytes:
+        """Receive-side read: verify the descriptor before touching memory.
+
+        Both transports deliver the 24-byte descriptor alongside the
+        side-band message; resolution rejects stale ``(offset, generation)``
+        pairs and boundary-straddling ranges (ABA/use-after-free defence).
+        """
+        if message.descriptor is not None:
+            return self.pool.resolve_descriptor(message.descriptor)
+        return self.pool.read(message.handle)
+
     def _finish_response(self, ops, message: SprightMessage):
         yield from self.transport.receive_costs(
             self.gateway_endpoint, ops, message.trace, None
         )
-        message.response = self.pool.read(message.handle)
+        message.response = self._resolve_payload(message)
         if not message.done.triggered:
             message.done.succeed(message.response)
 

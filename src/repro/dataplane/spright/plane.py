@@ -32,6 +32,9 @@ class SprightParams:
     ingress_overhead_cpu: float = 20e-6
     pool_capacity: int = 8192
     pool_buffer_size: int = 16384
+    # Memory-safety checked mode: None defers to the process-wide default
+    # (the CLI's --sanitize flag); True/False forces it for this chain.
+    sanitize: Optional[bool] = None
 
 
 class _SprightBase(Dataplane):
@@ -80,6 +83,7 @@ class _SprightBase(Dataplane):
             security_enabled=self.params.security_enabled,
             pool_capacity=self.params.pool_capacity,
             pool_buffer_size=self.params.pool_buffer_size,
+            sanitize=self.params.sanitize,
         )
         if self.routes:
             self.runtime.routing.load_routes(self.routes)
@@ -123,7 +127,7 @@ class _SprightBase(Dataplane):
 
         # The gateway consolidates protocol processing: payload lands in the
         # chain's private pool exactly once (the copy already audited in ②).
-        handle = runtime.pool.alloc()
+        handle = runtime.pool.alloc(site=f"{self.plane}/gw/{self.chain_name}")
         runtime.pool.write(handle, request.payload)
         message = SprightMessage(
             handle=handle,

@@ -84,6 +84,7 @@ class SproxySocket:
             shm_offset=descriptor.shm_offset,
             payload_len=descriptor.length,
             sender_id=self.instance_id,
+            generation=descriptor.generation,
         )
         scratch = Scratch(
             map_registry=self.node.map_registry, now_ns=self.node.clock.now_ns

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..audit import AuditTable, Auditor, OverheadKind
+from ..audit import AuditTable, Auditor, DESCRIPTOR_WIRE_BYTES, OverheadKind
 from ..dataplane import KnativeDataplane, Request, RequestClass, SSprightDataplane
 from ..runtime import FunctionSpec, WorkerNode
 from ..stats import format_table
@@ -64,5 +64,9 @@ def format_report() -> str:
     return format_table(
         ["overhead", "Kn ext", "Kn chain", "Kn total", "SP ext", "SP chain", "SP total"],
         rows,
-        title="Tables 1 & 2: per-request overhead audit ('1 broker + 2 functions')",
+        title=(
+            "Tables 1 & 2: per-request overhead audit ('1 broker + 2 functions'; "
+            f"SPRIGHT moves only the {DESCRIPTOR_WIRE_BYTES}-byte descriptor "
+            "within the chain)"
+        ),
     )

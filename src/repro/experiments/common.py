@@ -14,7 +14,7 @@ EXPERIMENTS.md compares.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from ..audit import Auditor
@@ -68,6 +68,14 @@ class ScenarioResult:
     def total_cpu_percent(self) -> float:
         return self.node.cpu_percent_prefix(f"{self.plane_obj.plane}/", self.duration)
 
+    def sanitizer_violations(self) -> int:
+        """Total memory-safety violations counted during this run."""
+        return sum(
+            count
+            for name, count in self.node.counters.as_dict().items()
+            if name.startswith("sanitizer/")
+        )
+
 
 def make_node(scale: float = 1.0, seed: int = 2022, cores: int = 40) -> WorkerNode:
     config = NodeConfig(root_seed=seed)
@@ -116,9 +124,18 @@ def run_closed_loop(
     audit: bool = False,
     knative_params: Optional[KnativeParams] = None,
     spright_params: Optional[SprightParams] = None,
+    sanitize: Optional[bool] = None,
 ) -> ScenarioResult:
-    """One closed-loop scenario on a fresh node."""
+    """One closed-loop scenario on a fresh node.
+
+    ``sanitize`` forces memory-safety checked mode on (True) or off (False)
+    for SPRIGHT planes; None defers to the params / process-wide default.
+    """
     node = make_node(scale=scale, seed=seed)
+    if sanitize is not None:
+        spright_params = replace(
+            spright_params or SprightParams(), sanitize=sanitize
+        )
     plane = build_plane(
         plane_name,
         node,

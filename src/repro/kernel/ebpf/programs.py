@@ -8,7 +8,7 @@ SK_MSG descriptor context (24 bytes)::
     [ 4:12]  shm_offset   (u64)   payload location in the shared pool
     [12:16]  payload_len  (u32)
     [16:20]  sender_id    (u32)   filled in by the kernel, not the sender
-    [20:24]  reserved
+    [20:24]  generation   (u32)   buffer allocation generation (ABA defence)
 
 XDP/TC packet context (16 bytes)::
 
@@ -54,6 +54,7 @@ DESC_NEXT_FN = 0
 DESC_SHM_OFFSET = 4
 DESC_LEN = 12
 DESC_SENDER = 16
+DESC_GENERATION = 20
 DESC_CTX_BYTES = 24
 
 PKT_LEN = 0
@@ -178,7 +179,11 @@ def tc_fib_forward(name: str = "tc_forward") -> Program:
 
 
 def encode_descriptor_ctx(
-    next_fn_id: int, shm_offset: int, payload_len: int, sender_id: int
+    next_fn_id: int,
+    shm_offset: int,
+    payload_len: int,
+    sender_id: int,
+    generation: int = 0,
 ) -> bytes:
     """Build the 24-byte SK_MSG context for one descriptor send."""
     return (
@@ -186,7 +191,7 @@ def encode_descriptor_ctx(
         + shm_offset.to_bytes(8, "little")
         + payload_len.to_bytes(4, "little")
         + sender_id.to_bytes(4, "little")
-        + b"\x00" * 4
+        + generation.to_bytes(4, "little")
     )
 
 

@@ -1,6 +1,11 @@
 """Shared memory substrate: pools, descriptors, RTE rings, chain managers."""
 
-from .descriptor import DESCRIPTOR_SIZE, DescriptorError, PacketDescriptor
+from .descriptor import (
+    DESCRIPTOR_SIZE,
+    DESCRIPTOR_VERSION,
+    DescriptorError,
+    PacketDescriptor,
+)
 from .manager import ChainMemory, SharedMemoryManager
 from .pool import (
     BufferHandle,
@@ -12,11 +17,20 @@ from .pool import (
     SharedMemoryPool,
 )
 from .rings import PollingConsumer, RING_F_SC_DEQ, RING_F_SP_ENQ, RingError, RteRing
+from .sanitizer import (
+    PoolSanitizer,
+    SanitizerError,
+    Violation,
+    ViolationKind,
+    default_sanitize,
+    set_default_sanitize,
+)
 
 __all__ = [
     "BufferHandle",
     "ChainMemory",
     "DESCRIPTOR_SIZE",
+    "DESCRIPTOR_VERSION",
     "DescriptorError",
     "HUGEPAGE_SIZE",
     "IsolationError",
@@ -24,11 +38,17 @@ __all__ = [
     "PollingConsumer",
     "PoolError",
     "PoolRegistry",
+    "PoolSanitizer",
     "PoolStats",
     "RING_F_SC_DEQ",
     "RING_F_SP_ENQ",
     "RingError",
     "RteRing",
+    "SanitizerError",
     "SharedMemoryManager",
     "SharedMemoryPool",
+    "Violation",
+    "ViolationKind",
+    "default_sanitize",
+    "set_default_sanitize",
 ]

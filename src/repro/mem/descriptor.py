@@ -1,18 +1,28 @@
-"""The 16-byte packet descriptor passed between functions (§3.2.1).
+"""The 24-byte packet descriptor passed between functions (§3.2.1).
 
 The descriptor is the *only* thing that crosses sockets/rings in SPRIGHT;
-payloads stay put in shared memory. Layout (little-endian)::
+payloads stay put in shared memory. Wire layout v2 (little-endian)::
 
-    [ 0: 4]  next_fn    (u32)  instance ID of the next function
-    [ 4:12]  shm_offset (u64)  payload location in the chain's pool
-    [12:16]  length     (u32)  payload length in bytes
+    [ 0: 1]  version    (u8)   wire-format version, currently 2
+    [ 1: 4]  reserved           must be zero
+    [ 4: 8]  next_fn    (u32)  instance ID of the next function
+    [ 8:16]  shm_offset (u64)  payload location in the chain's pool
+    [16:20]  length     (u32)  payload length in bytes
+    [20:24]  generation (u32)  allocation generation of the target buffer
+
+The ``generation`` field is the ABA/use-after-free defence: the pool bumps
+a per-slot generation on every ``alloc``, and descriptor resolution verifies
+``(shm_offset, generation)`` identity, so a stale descriptor to a recycled
+buffer is rejected instead of silently aliasing the new owner's payload.
+(v1 was the paper's 16-byte layout without the version or generation.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-DESCRIPTOR_SIZE = 16
+DESCRIPTOR_SIZE = 24
+DESCRIPTOR_VERSION = 2
 
 
 class DescriptorError(Exception):
@@ -26,6 +36,7 @@ class PacketDescriptor:
     next_fn: int
     shm_offset: int
     length: int
+    generation: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.next_fn < 2**32:
@@ -34,13 +45,18 @@ class PacketDescriptor:
             raise DescriptorError(f"shm_offset {self.shm_offset} out of u64 range")
         if not 0 <= self.length < 2**32:
             raise DescriptorError(f"length {self.length} out of u32 range")
+        if not 0 <= self.generation < 2**32:
+            raise DescriptorError(f"generation {self.generation} out of u32 range")
 
     def pack(self) -> bytes:
-        """Serialize to the 16-byte wire form."""
+        """Serialize to the 24-byte v2 wire form."""
         return (
-            self.next_fn.to_bytes(4, "little")
+            DESCRIPTOR_VERSION.to_bytes(1, "little")
+            + b"\x00" * 3
+            + self.next_fn.to_bytes(4, "little")
             + self.shm_offset.to_bytes(8, "little")
             + self.length.to_bytes(4, "little")
+            + self.generation.to_bytes(4, "little")
         )
 
     @classmethod
@@ -49,14 +65,24 @@ class PacketDescriptor:
             raise DescriptorError(
                 f"descriptor must be exactly {DESCRIPTOR_SIZE} bytes, got {len(raw)}"
             )
+        version = raw[0]
+        if version != DESCRIPTOR_VERSION:
+            raise DescriptorError(
+                f"unsupported descriptor version {version} "
+                f"(expected {DESCRIPTOR_VERSION})"
+            )
         return cls(
-            next_fn=int.from_bytes(raw[0:4], "little"),
-            shm_offset=int.from_bytes(raw[4:12], "little"),
-            length=int.from_bytes(raw[12:16], "little"),
+            next_fn=int.from_bytes(raw[4:8], "little"),
+            shm_offset=int.from_bytes(raw[8:16], "little"),
+            length=int.from_bytes(raw[16:20], "little"),
+            generation=int.from_bytes(raw[20:24], "little"),
         )
 
     def addressed_to(self, next_fn: int) -> "PacketDescriptor":
         """A copy of this descriptor re-addressed to another instance."""
         return PacketDescriptor(
-            next_fn=next_fn, shm_offset=self.shm_offset, length=self.length
+            next_fn=next_fn,
+            shm_offset=self.shm_offset,
+            length=self.length,
+            generation=self.generation,
         )

@@ -77,7 +77,12 @@ class SharedMemoryManager:
         return self.registry.attach(self.memory.pool.name, file_prefix)
 
     def teardown(self) -> None:
-        """Destroy the chain's pool (chain deletion)."""
+        """Destroy the chain's pool (chain deletion).
+
+        If a sanitizer watches the pool, any buffer still live at this point
+        is reported as a leak (with its allocation site) by the registry's
+        ``destroy`` before the pool vanishes.
+        """
         if self._chain_memory is None:
             return
         self.registry.destroy(self._chain_memory.pool.name)

@@ -10,12 +10,26 @@ privileged *primary* (the shared memory manager) under a unique file prefix;
 *secondaries* (gateway, functions) can attach only if they present the same
 prefix. Attaching with a wrong prefix raises, which is the cross-chain
 security boundary of §3.4.
+
+Memory safety: every buffer slot carries a monotonically increasing
+*generation* that ``alloc`` bumps. Liveness checks verify handle *identity*
+(``self._in_use.get(offset) is handle``) and descriptor resolution verifies
+``(offset, generation)``, so a stale handle or descriptor to a recycled slot
+raises instead of silently aliasing the new owner's payload (the classic ABA
+use-after-free). An optional :class:`repro.mem.sanitizer.PoolSanitizer`
+additionally counts violations and tracks allocation sites for leak reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .descriptor import PacketDescriptor
+from .sanitizer import ViolationKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sanitizer import PoolSanitizer
 
 HUGEPAGE_SIZE = 2 * 1024 * 1024  # 2 MiB hugepages
 
@@ -35,6 +49,7 @@ class BufferHandle:
     pool_name: str
     offset: int
     size: int
+    generation: int = 0
     in_use: bool = True
 
 
@@ -73,6 +88,9 @@ class SharedMemoryPool:
         self._memory = bytearray(buffer_size * capacity)
         self._free_offsets = [index * buffer_size for index in range(capacity)]
         self._in_use: dict[int, BufferHandle] = {}
+        # Per-slot allocation generation, bumped on every alloc of that slot.
+        self._slot_generation = [0] * capacity
+        self.sanitizer: Optional["PoolSanitizer"] = None
         self.stats = PoolStats()
 
     # -- geometry ------------------------------------------------------------
@@ -93,35 +111,79 @@ class SharedMemoryPool:
     def free_count(self) -> int:
         return len(self._free_offsets)
 
+    def live_handles(self) -> list[BufferHandle]:
+        """Snapshot of every currently allocated buffer (leak detection)."""
+        return list(self._in_use.values())
+
+    # -- sanitizer wiring ------------------------------------------------------
+    def attach_sanitizer(self, sanitizer: "PoolSanitizer") -> None:
+        """Put this pool under sanitizer observation (checked mode)."""
+        self.sanitizer = sanitizer
+
+    def _violation(self, kind, detail: str, site: str = "") -> PoolError:
+        """Record (if sanitized) and build the error for one violation."""
+        if self.sanitizer is not None:
+            self.sanitizer.record(kind, self.name, detail, site=site)
+        return PoolError(f"pool {self.name!r}: {detail}")
+
     # -- allocation -----------------------------------------------------------
-    def alloc(self) -> BufferHandle:
-        """Take one buffer from the pool (rte_mempool_get equivalent)."""
+    def alloc(self, site: str = "") -> BufferHandle:
+        """Take one buffer from the pool (rte_mempool_get equivalent).
+
+        ``site`` labels the allocation for the sanitizer's leak reports
+        (e.g. ``"sspright/gw/chain"``).
+        """
         if not self._free_offsets:
             self.stats.alloc_failures += 1
             raise PoolError(f"pool {self.name!r} exhausted ({self.capacity} buffers)")
         offset = self._free_offsets.pop()
-        handle = BufferHandle(pool_name=self.name, offset=offset, size=0)
+        slot = offset // self.buffer_size
+        self._slot_generation[slot] += 1
+        handle = BufferHandle(
+            pool_name=self.name,
+            offset=offset,
+            size=0,
+            generation=self._slot_generation[slot],
+        )
         self._in_use[offset] = handle
         self.stats.allocs += 1
         self.stats.peak_in_use = max(self.stats.peak_in_use, len(self._in_use))
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(self, handle, site)
         return handle
 
     def free(self, handle: BufferHandle) -> None:
         if handle.pool_name != self.name:
-            raise PoolError(
-                f"buffer belongs to pool {handle.pool_name!r}, not {self.name!r}"
+            raise self._violation(
+                ViolationKind.CROSS_POOL,
+                f"buffer belongs to pool {handle.pool_name!r}, not {self.name!r}",
             )
-        if handle.offset not in self._in_use:
-            raise PoolError(f"double free of buffer at offset {handle.offset}")
+        current = self._in_use.get(handle.offset)
+        if current is None:
+            raise self._violation(
+                ViolationKind.DOUBLE_FREE,
+                f"double free of buffer at offset {handle.offset}",
+            )
+        if current is not handle:
+            # The slot was recycled: freeing through the stale handle would
+            # yank the buffer out from under its new owner (ABA).
+            raise self._violation(
+                ViolationKind.STALE_FREE,
+                f"free through stale handle at offset {handle.offset} "
+                f"(handle generation {handle.generation}, live generation "
+                f"{current.generation})",
+            )
         del self._in_use[handle.offset]
         handle.in_use = False
         self._free_offsets.append(handle.offset)
         self.stats.frees += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(self, handle)
 
     # -- data access ------------------------------------------------------------
     def write(self, handle: BufferHandle, data: bytes) -> None:
         """Write payload into the buffer (the gateway's single copy-in)."""
-        self._check_live(handle)
+        self._check_live(handle, op="write")
         if len(data) > self.buffer_size:
             raise PoolError(
                 f"payload of {len(data)} bytes exceeds buffer size {self.buffer_size}"
@@ -133,29 +195,83 @@ class SharedMemoryPool:
 
     def read(self, handle: BufferHandle) -> bytes:
         """Read the payload (functions access data in place)."""
-        self._check_live(handle)
+        self._check_live(handle, op="read")
         self.stats.reads += 1
         self.stats.bytes_read += handle.size
         return bytes(self._memory[handle.offset : handle.offset + handle.size])
 
     def read_at(self, offset: int, length: int) -> bytes:
         """Raw offset read (what a descriptor authorizes)."""
+        if length < 0:
+            raise PoolError(f"negative read length {length}")
         if offset < 0 or offset + length > self.total_bytes:
             raise PoolError(f"read [{offset}, {offset + length}) outside pool")
         self.stats.reads += 1
         self.stats.bytes_read += length
         return bytes(self._memory[offset : offset + length])
 
+    def resolve_descriptor(self, descriptor: PacketDescriptor) -> bytes:
+        """Resolve a wire descriptor to payload bytes, verifying identity.
+
+        This is how the S-SPRIGHT SK_MSG and D-SPRIGHT ring receive paths
+        read: the descriptor's ``(shm_offset, generation)`` must name the
+        *current* allocation of that slot, and its range must stay inside
+        one buffer — a stale or corrupt descriptor raises instead of reading
+        whatever now lives there.
+        """
+        current = self._in_use.get(descriptor.shm_offset)
+        if current is None:
+            raise self._violation(
+                ViolationKind.USE_AFTER_FREE,
+                f"descriptor to freed buffer at offset {descriptor.shm_offset} "
+                f"(generation {descriptor.generation})",
+            )
+        if descriptor.generation != current.generation:
+            site = (
+                self.sanitizer.site_of(self.name, descriptor.shm_offset)
+                if self.sanitizer is not None
+                else ""
+            )
+            raise self._violation(
+                ViolationKind.USE_AFTER_FREE,
+                f"stale descriptor generation {descriptor.generation} for "
+                f"offset {descriptor.shm_offset} (buffer re-allocated, live "
+                f"generation {current.generation})",
+                site=site,
+            )
+        if descriptor.length > self.buffer_size:
+            raise self._violation(
+                ViolationKind.RANGE_STRADDLE,
+                f"descriptor range [{descriptor.shm_offset}, "
+                f"{descriptor.shm_offset + descriptor.length}) straddles the "
+                f"{self.buffer_size}-byte buffer boundary",
+            )
+        return self.read_at(descriptor.shm_offset, descriptor.length)
+
     def handle_for_offset(self, offset: int) -> Optional[BufferHandle]:
         return self._in_use.get(offset)
 
-    def _check_live(self, handle: BufferHandle) -> None:
+    def _check_live(self, handle: BufferHandle, op: str = "access") -> None:
         if handle.pool_name != self.name:
-            raise PoolError(
-                f"buffer belongs to pool {handle.pool_name!r}, not {self.name!r}"
+            raise self._violation(
+                ViolationKind.CROSS_POOL,
+                f"buffer belongs to pool {handle.pool_name!r}, not {self.name!r}",
             )
-        if handle.offset not in self._in_use:
-            raise PoolError(f"use of freed buffer at offset {handle.offset}")
+        current = self._in_use.get(handle.offset)
+        if current is None:
+            raise self._violation(
+                ViolationKind.USE_AFTER_FREE,
+                f"{op} of freed buffer at offset {handle.offset}",
+            )
+        if current is not handle or current.generation != handle.generation:
+            # Offset-only membership is not liveness: the slot may have been
+            # re-allocated to another request since this handle was freed.
+            raise self._violation(
+                ViolationKind.USE_AFTER_FREE,
+                f"{op} through stale handle at offset {handle.offset} "
+                f"(handle generation {handle.generation}, live generation "
+                f"{current.generation})",
+            )
 
 
 class PoolRegistry:
@@ -202,8 +318,13 @@ class PoolRegistry:
         return pool
 
     def destroy(self, name: str) -> None:
-        if name not in self._pools:
+        pool = self._pools.get(name)
+        if pool is None:
             raise PoolError(f"no pool named {name!r}")
+        # Chain teardown with live buffers is a leak; the sanitizer reports
+        # each one with its allocation site instead of dropping it silently.
+        if pool.sanitizer is not None:
+            pool.sanitizer.check_teardown(pool)
         del self._pools[name]
 
     def __len__(self) -> int:

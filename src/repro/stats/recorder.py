@@ -8,7 +8,7 @@ mean/95/99 latencies with confidence intervals (Fig 5's error bars).
 from __future__ import annotations
 
 import math
-from bisect import bisect_right, insort
+from bisect import bisect_left, insort
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -127,7 +127,12 @@ class LatencyRecorder:
         out = []
         for index in range(0, len(ordered), step):
             out.append((ordered[index], (index + 1) / len(ordered)))
-        out.append((ordered[-1], 1.0))
+        # Guarantee full coverage (the sampled stride can stop short of the
+        # last sample) without duplicating the final point when the stride
+        # already landed on it.
+        final = (ordered[-1], 1.0)
+        if out[-1] != final:
+            out.append(final)
         return out
 
     def throughput_series(
@@ -193,8 +198,16 @@ class SlidingWindowRate:
         insort(self._events, now)
 
     def rate(self, now: float) -> float:
+        """Events per second over the *closed-left* window [now-window, now].
+
+        An event observed at exactly ``now - window`` still counts (eviction
+        uses ``bisect_left``, matching ``observe``'s inclusive semantics);
+        only strictly older events are dropped. Pruning therefore removes
+        nothing a later call at the same ``now`` would count, so back-to-back
+        calls at the same ``now`` are idempotent.
+        """
         cutoff = now - self.window
-        start = bisect_right(self._events, cutoff)
+        start = bisect_left(self._events, cutoff)
         if start:
             del self._events[:start]
         return len(self._events) / self.window

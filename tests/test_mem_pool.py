@@ -20,15 +20,24 @@ from repro.simcore import CpuSet, Environment
 # -- descriptors -----------------------------------------------------------
 
 def test_descriptor_roundtrip():
-    descriptor = PacketDescriptor(next_fn=3, shm_offset=65536, length=1500)
+    descriptor = PacketDescriptor(
+        next_fn=3, shm_offset=65536, length=1500, generation=7
+    )
     raw = descriptor.pack()
-    assert len(raw) == 16
+    assert len(raw) == 24
     assert PacketDescriptor.unpack(raw) == descriptor
 
 
-def test_descriptor_is_exactly_16_bytes():
-    with pytest.raises(DescriptorError, match="16 bytes"):
-        PacketDescriptor.unpack(b"\x00" * 15)
+def test_descriptor_is_exactly_24_bytes():
+    with pytest.raises(DescriptorError, match="24 bytes"):
+        PacketDescriptor.unpack(b"\x00" * 16)
+
+
+def test_descriptor_version_checked():
+    raw = bytearray(PacketDescriptor(next_fn=1, shm_offset=0, length=0).pack())
+    raw[0] = 1  # the paper's v1 16-byte layout never had this header
+    with pytest.raises(DescriptorError, match="version"):
+        PacketDescriptor.unpack(bytes(raw))
 
 
 def test_descriptor_field_ranges():
@@ -36,13 +45,16 @@ def test_descriptor_field_ranges():
         PacketDescriptor(next_fn=2**32, shm_offset=0, length=0)
     with pytest.raises(DescriptorError):
         PacketDescriptor(next_fn=0, shm_offset=-1, length=0)
+    with pytest.raises(DescriptorError):
+        PacketDescriptor(next_fn=0, shm_offset=0, length=0, generation=2**32)
 
 
 def test_descriptor_readdressing():
-    descriptor = PacketDescriptor(next_fn=1, shm_offset=100, length=10)
+    descriptor = PacketDescriptor(next_fn=1, shm_offset=100, length=10, generation=3)
     forwarded = descriptor.addressed_to(2)
     assert forwarded.next_fn == 2
     assert forwarded.shm_offset == 100
+    assert forwarded.generation == 3
     assert descriptor.next_fn == 1  # original unchanged
 
 
@@ -95,6 +107,52 @@ def test_pool_use_after_free_detected():
     pool.free(handle)
     with pytest.raises(PoolError, match="freed buffer"):
         pool.read(handle)
+
+
+def test_pool_stale_handle_aba_read_detected():
+    """Regression: a freed handle whose slot was re-allocated must not pass
+    the liveness check on offset alone (classic ABA use-after-free)."""
+    pool = make_pool()
+    h1 = pool.alloc()
+    pool.write(h1, b"first owner")
+    pool.free(h1)
+    h2 = pool.alloc()  # LIFO free list: h2 recycles h1's slot
+    assert h2.offset == h1.offset
+    pool.write(h2, b"second owner")
+    with pytest.raises(PoolError, match="stale handle"):
+        pool.read(h1)
+    with pytest.raises(PoolError, match="stale handle"):
+        pool.write(h1, b"clobber")
+    assert pool.read(h2) == b"second owner"  # new owner undisturbed
+
+
+def test_pool_stale_handle_free_detected():
+    """Freeing through a stale handle must not free the new owner's buffer."""
+    pool = make_pool()
+    h1 = pool.alloc()
+    pool.free(h1)
+    h2 = pool.alloc()
+    with pytest.raises(PoolError, match="stale handle"):
+        pool.free(h1)
+    assert pool.read(h2) == b""  # h2 still live
+
+
+def test_pool_generation_bumps_per_slot():
+    pool = make_pool(capacity=1)
+    generations = []
+    for _ in range(3):
+        handle = pool.alloc()
+        generations.append(handle.generation)
+        pool.free(handle)
+    assert generations == [1, 2, 3]
+
+
+def test_pool_read_at_negative_length_rejected():
+    pool = make_pool()
+    reads_before = pool.stats.reads
+    with pytest.raises(PoolError, match="negative read length"):
+        pool.read_at(16, -8)
+    assert pool.stats.reads == reads_before  # rejected reads are not counted
 
 
 def test_pool_oversized_write_rejected():

@@ -140,8 +140,11 @@ def test_cloudevent_structured_roundtrip_property(data, subject):
     next_fn=st.integers(min_value=0, max_value=2**32 - 1),
     shm_offset=st.integers(min_value=0, max_value=2**64 - 1),
     length=st.integers(min_value=0, max_value=2**32 - 1),
+    generation=st.integers(min_value=0, max_value=2**32 - 1),
 )
-def test_descriptor_roundtrip_property(next_fn, shm_offset, length):
-    descriptor = PacketDescriptor(next_fn=next_fn, shm_offset=shm_offset, length=length)
+def test_descriptor_roundtrip_property(next_fn, shm_offset, length, generation):
+    descriptor = PacketDescriptor(
+        next_fn=next_fn, shm_offset=shm_offset, length=length, generation=generation
+    )
     assert PacketDescriptor.unpack(descriptor.pack()) == descriptor
-    assert len(descriptor.pack()) == 16
+    assert len(descriptor.pack()) == 24

@@ -130,6 +130,55 @@ def test_sliding_window_validation():
         SlidingWindowRate(window=0)
 
 
+def test_sliding_window_boundary_event_included():
+    """An event at exactly now - window is inside the closed-left window."""
+    window = SlidingWindowRate(window=10.0)
+    window.observe(0.0)
+    assert window.rate(10.0) == pytest.approx(0.1)
+    # One tick past the boundary it ages out.
+    window.observe(0.0)  # re-add: the prior rate() call kept it, but be explicit
+    assert window.rate(10.0 + 1e-9) == 0.0
+
+
+def test_sliding_window_rate_idempotent_at_same_now():
+    """Back-to-back rate() calls at the same now agree, even when events sit
+    exactly on the window boundary (eviction must not drop countable events)."""
+    window = SlidingWindowRate(window=5.0)
+    for t in (0.0, 2.0, 4.0):
+        window.observe(t)
+    first = window.rate(5.0)  # 0.0 is exactly on the boundary
+    second = window.rate(5.0)
+    assert first == second == pytest.approx(3 / 5.0)
+
+
+def test_sliding_window_eviction_keeps_boundary_event():
+    window = SlidingWindowRate(window=10.0)
+    window.observe(0.0)
+    window.observe(3.0)
+    window.rate(10.0)  # prunes: must keep both (0.0 is on the boundary)
+    assert window.rate(10.0) == pytest.approx(0.2)
+
+
+def test_recorder_cdf_no_duplicate_final_point():
+    """When the sampling stride lands exactly on the last sample, the (max,
+    1.0) coverage point must not be emitted twice."""
+    recorder = LatencyRecorder()
+    for value in range(400):  # len is a multiple of the stride (400 // 200 = 2)
+        recorder.record(0.0, value / 1000)
+    cdf = recorder.cdf(points=200)
+    assert cdf[-1] == (0.399, 1.0)
+    assert cdf[-1] != cdf[-2]
+    assert len(cdf) == len(set(cdf))
+
+
+def test_recorder_cdf_small_sample_reaches_full_coverage():
+    recorder = LatencyRecorder()
+    for value in (1, 2, 3):
+        recorder.record(0.0, value / 1000)
+    cdf = recorder.cdf(points=2)
+    assert cdf[-1][1] == 1.0
+
+
 def test_format_table_alignment():
     text = format_table(["name", "value"], [["a", 1.5], ["long-name", 22222.0]])
     lines = text.splitlines()
