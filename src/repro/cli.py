@@ -10,6 +10,7 @@ Examples::
     spright-repro parking
     spright-repro xdp
     spright-repro ablations
+    spright-repro faults --fault-plan loss-crash --retries 2 --hedge 0.05
     spright-repro all               # everything, at smoke-test scale
 """
 
@@ -23,12 +24,14 @@ from .experiments import (
     ablations,
     audits,
     boutique_exp,
+    faults_exp,
     fig2,
     fig5,
     motion_exp,
     parking_exp,
     xdp_exp,
 )
+from .faults import load_plan
 
 
 def _cmd_tables(_args) -> str:
@@ -79,6 +82,28 @@ def _cmd_ablations(_args) -> str:
     return ablations.format_report()
 
 
+def _cmd_faults(args) -> str:
+    plan = load_plan(args.fault_plan)
+    policy = faults_exp.default_policy(
+        retries=args.retries,
+        hedge_delay=args.hedge,
+        timeout=args.request_timeout,
+    )
+    results = faults_exp.run_resilience_suite(
+        fault_plan=plan,
+        policy=policy,
+        scale=args.scale,
+        boutique_duration=args.duration or 30.0,
+        motion_duration=(args.duration or 30.0) * 20,
+    )
+    return "\n\n".join(
+        [
+            faults_exp.format_resilience_table(results, plan_name=plan.name),
+            faults_exp.format_fault_counters(results),
+        ]
+    )
+
+
 def _cmd_all(args) -> str:
     sections = [
         _cmd_tables(args),
@@ -101,6 +126,7 @@ COMMANDS = {
     "parking": _cmd_parking,
     "xdp": _cmd_xdp,
     "ablations": _cmd_ablations,
+    "faults": _cmd_faults,
     "all": _cmd_all,
 }
 
@@ -122,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--max-concurrency", type=int, default=512, help="fig5 sweep ceiling"
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default="loss-crash",
+        help="faults: named plan (loss-crash, lossy, crashy, ring-pressure, "
+        "map-churn), a JSON file path, or 'none' for an empty plan",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="faults: retry budget per request (0 disables retries)",
+    )
+    parser.add_argument(
+        "--hedge",
+        type=float,
+        default=None,
+        metavar="DELAY_S",
+        help="faults: launch a hedged duplicate after this many seconds "
+        "without a response (off by default)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=1.0,
+        help="faults: per-attempt timeout in seconds",
     )
     parser.add_argument(
         "--out",

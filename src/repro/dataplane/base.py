@@ -15,9 +15,10 @@ from typing import TYPE_CHECKING, Optional
 from ..audit import RequestTrace
 from ..kernel import KernelOps
 from ..runtime import Deployment, FunctionSpec, Kubelet, Pod
-from ..simcore import CpuSet, Resource
+from ..simcore import CpuSet, DeliveryError, Interrupt, Resource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import ResilienceController, ResiliencePolicy
     from ..runtime import WorkerNode
 
 
@@ -37,8 +38,15 @@ class RequestClass:
             raise ValueError(f"request class {self.name!r} has an empty sequence")
 
 
-class OverloadError(Exception):
-    """A component's queue limit was exceeded; the request is shed (503)."""
+class OverloadError(DeliveryError):
+    """A component's queue limit was exceeded; the request is shed (503).
+
+    A :class:`DeliveryError` of kind ``"overload"`` — retryable, since the
+    backlog that triggered the shed drains over time.
+    """
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("overload", message)
 
 
 @dataclass
@@ -52,6 +60,7 @@ class Request:
     response: Optional[bytes] = None
     completed_at: Optional[float] = None
     failed: bool = False
+    error: Optional[DeliveryError] = None  # why it failed, when it failed
     # Milestone timeline (name, sim time); populated when the request is
     # created with ``record_timeline=True`` via enable_timeline().
     timeline: Optional[list] = None
@@ -108,7 +117,7 @@ class ProxyComponent:
             )
         else:
             self.cpu = node.cpu
-        self.ops = KernelOps(node.env, self.cpu, node.config.costs, tag)
+        self.ops = KernelOps(node.env, self.cpu, node.config.costs, tag, node.faults)
         self._limiter = Resource(node.env, capacity=concurrency)
         self.traversals = 0
 
@@ -130,7 +139,13 @@ class ProxyComponent:
                 )
         self.traversals += 1
         slot = self._limiter.request()
-        yield slot
+        try:
+            yield slot
+        except Interrupt:
+            # Cancelled (timed out / raced out) while queued: withdraw the
+            # claim so proxy concurrency capacity is not leaked.
+            self._limiter.release(slot)
+            raise
         try:
             if self.path_cpu > 0:
                 yield self.cpu.execute(self.path_cpu, self.tag)
@@ -162,6 +177,7 @@ class Dataplane(abc.ABC):
         )
         self.deployments: dict[str, Deployment] = {}
         self.requests_completed = 0
+        self.resilience: Optional["ResilienceController"] = None
         self._deployed = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -173,8 +189,21 @@ class Dataplane(abc.ABC):
             deployment = self.kubelet.deployment(spec, self.fn_tag(name))
             deployment.ensure_scale(spec.min_scale)
             self.deployments[name] = deployment
+            self.node.faults.register_deployment(name, deployment)
         self._setup_transport()
         self._deployed = True
+
+    def use_resilience(self, policy: "ResiliencePolicy") -> None:
+        """Attach a gateway-side resilience policy (timeouts/retries/hedging).
+
+        A disabled policy attaches nothing, keeping the fault-free fast
+        path — and its RNG draw sequence — byte-identical to a plane that
+        never heard of resilience.
+        """
+        from ..faults import ResilienceController
+
+        if policy.enabled():
+            self.resilience = ResilienceController(self, policy)
 
     def _setup_transport(self) -> None:
         """Plane-specific wiring (sockets, rings, hooks); default none."""
@@ -214,17 +243,41 @@ class Dataplane(abc.ABC):
     def handle_request(self, request: Request):
         """Generator executing the request; sets ``request.response``."""
 
+    def deliver_once(self, request: Request):
+        """Generator: one delivery attempt, surfacing failures as exceptions.
+
+        The resilience layer's unit of work: raises a typed
+        :class:`DeliveryError` (timeout/crash/drop/overload/...) instead of
+        returning a half-marked request, so the caller can decide whether
+        retrying can help.
+        """
+        yield from self.handle_request(request)
+        if request.failed:
+            raise request.error or DeliveryError(
+                "crash", "request failed without a recorded error"
+            )
+
     def submit(self, request: Request):
         """Generator wrapper: run the request and stamp completion.
 
-        Overload sheds (queue-limit hits) mark the request failed rather
-        than crashing the run; callers decide whether to retry.
+        Delivery failures (queue-limit sheds, injected drops, crashed pods)
+        mark the request failed with a typed ``request.error`` rather than
+        crashing the run; with a resilience policy attached
+        (:meth:`use_resilience`), the controller retries/hedges before
+        giving up.
         """
-        try:
-            yield from self.handle_request(request)
-        except OverloadError:
-            request.failed = True
-            self.node.counters.incr(f"{self.plane}/overload_drops")
+        if self.resilience is not None:
+            yield from self.resilience.execute(request)
+        else:
+            try:
+                yield from self.handle_request(request)
+            except DeliveryError as error:
+                request.failed = True
+                request.error = error
+                if error.kind == "overload":
+                    self.node.counters.incr(f"{self.plane}/overload_drops")
+                else:
+                    self.node.counters.incr(f"faults/failed/{error.kind}")
         request.completed_at = self.node.env.now
         if request.failed:
             return request

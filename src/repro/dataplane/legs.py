@@ -27,6 +27,20 @@ from typing import Optional
 
 from ..audit import RequestTrace, Stage
 from ..kernel import KernelOps
+from ..simcore import DeliveryError
+
+
+def _check_loss(ops: KernelOps, point: str) -> None:
+    """Fault injection on a costed leg: the CPU work is already charged
+    (the sender paid for a transfer that went nowhere), then the message
+    is lost or corrupted — surfaced as a typed, retryable failure."""
+    faults = ops.faults
+    if faults is None or not faults.active:
+        return
+    if faults.drop_packet(point, ops.tag):
+        raise DeliveryError("drop", f"frame lost on {point} leg at {ops.tag}")
+    if faults.corrupt_packet(point, ops.tag):
+        raise DeliveryError("corrupt", f"frame corrupted on {point} leg at {ops.tag}")
 
 
 def external_arrival(
@@ -48,6 +62,7 @@ def external_arrival(
     bundle.context_switch(trace, stage)
     bundle.serialize(nbytes, trace, stage)
     yield bundle.commit()
+    _check_loss(ops, "leg_external")
 
 
 def leg_kernel(
@@ -70,6 +85,7 @@ def leg_kernel(
     tx.protocol_processing(nbytes, trace, stage)
     tx.interrupt(trace, stage, count=2)
     yield tx.commit()
+    _check_loss(sender, "leg_kernel")
 
     rx = ops_rx.bundle()
     rx.protocol_processing(nbytes, trace, stage)
@@ -96,6 +112,7 @@ def leg_localhost(
     bundle.context_switch(trace, stage, count=2)
     bundle.deserialize(nbytes, trace, stage)
     yield bundle.commit()
+    _check_loss(ops, "leg_localhost")
 
 
 def chain_step_stage(event_index: int) -> Optional[Stage]:

@@ -27,7 +27,7 @@ from ...mem import (
 )
 from ...runtime import Deployment, MetricsServer, PodMetrics, RESPONSE
 from ...runtime.pod import Pod
-from ...simcore import Event, Interrupt, Store
+from ...simcore import DeliveryError, Event, Interrupt, Store
 from ..base import ProxyComponent, Request
 from .routing import DfrRoutingTable, GATEWAY_INSTANCE_ID
 from .security import SecurityDomain
@@ -58,6 +58,11 @@ class SprightMessage:
     response: bytes = b""
     pending_stage: Optional[Stage] = None  # stage of the hop in flight
     descriptor: Optional[PacketDescriptor] = None  # wire form of the hop in flight
+    # Failure/cancellation lifecycle (fault injection, resilience layer):
+    cancelled: bool = False  # requester gave up; the chain frees the buffer
+    freed: bool = False      # single-free guard (requester XOR chain frees)
+    in_chain: bool = False   # a descriptor for it reached some inbox/ring
+    failed_error: Optional[DeliveryError] = None  # set when delivery failed
 
     def next_stage(self, to_gateway: bool) -> Optional[Stage]:
         """Audit stage for the next hop (response hops are not staged)."""
@@ -162,7 +167,9 @@ class SproxyTransport(ChainTransport):
         delivered = yield from sender_endpoint.send(
             descriptor, message, ops, trace, stage
         )
-        if not delivered and self.security is not None:
+        if delivered:
+            message.in_chain = True
+        elif self.security is not None:
             self.security.record_denial()
         return delivered
 
@@ -201,6 +208,9 @@ class RingTransport(ChainTransport):
 
     def make_endpoint(self, owner_tag: str, instance_id: int) -> RingEndpoint:
         ring = self.manager.create_ring(f"{owner_tag}#{instance_id}", size=4096)
+        # Fault injection: forced overflows make this enqueue behave as if
+        # the ring were full (inert-injector fast path inside the hook).
+        ring.fault_hook = self.node.faults.ring_overflow
         return RingEndpoint(self.node, ring)
 
     def on_pod_registered(self, instance_id: int, endpoint) -> None:
@@ -217,11 +227,20 @@ class RingTransport(ChainTransport):
             return False
         yield ops.compute(costs.ring_enqueue)
         accepted = target.deliver_descriptor(message)
-        if not accepted:
+        if accepted:
+            message.in_chain = True
+        else:
             self.node.counters.incr("spright/ring_overflows")
         return accepted
 
     def receive_costs(self, endpoint, ops, trace, stage):
+        faults = self.node.faults
+        if faults.active:
+            # Descriptor stall: the consumer's dequeue is delayed (a slow
+            # or preempted poll core) without losing the descriptor.
+            stall = faults.ring_stall(endpoint.ring.name)
+            if stall > 0:
+                yield self.node.env.timeout(stall)
         yield ops.compute(self.node.config.costs.ring_dequeue)
 
     def wait_for_item(self, endpoint):
@@ -406,6 +425,42 @@ class SprightChainRuntime:
         sent = yield from self.transport.send(
             endpoint, descriptor, message, ops, message.trace, stage
         )
+        if not sent:
+            sent = yield from self._repair_and_resend(endpoint, ops, message, pod)
+        if not sent:
+            self._fail_message(
+                message,
+                DeliveryError(
+                    "descriptor_drop",
+                    f"descriptor to {function_name} undeliverable",
+                ),
+            )
+        return sent
+
+    def _repair_and_resend(self, endpoint, ops, message, pod):
+        """Self-healing after an eBPF map eviction (fault injection).
+
+        If the target pod is alive but its sockmap entry vanished, the
+        runtime re-registers the socket — the SPRIGHT controller's reaction
+        to map churn — and resends the descriptor once.
+        """
+        if not isinstance(self.transport, SproxyTransport):
+            return False
+        if pod.instance_id in self.transport.sockmap or not pod.is_servable:
+            return False
+        target = self._endpoints.get(pod.instance_id)
+        if target is None:
+            return False
+        self.transport.on_pod_registered(pod.instance_id, target)
+        self.node.counters.incr("spright/sockmap_repairs")
+        sent = yield from self.transport.send(
+            endpoint,
+            message.descriptor,
+            message,
+            ops,
+            message.trace,
+            message.pending_stage,
+        )
         return sent
 
     def _send_to_gateway(self, endpoint, ops, message):
@@ -421,7 +476,29 @@ class SprightChainRuntime:
         sent = yield from self.transport.send(
             endpoint, descriptor, message, ops, message.trace, None
         )
+        if not sent:
+            self._fail_message(
+                message,
+                DeliveryError("descriptor_drop", "response descriptor undeliverable"),
+            )
         return sent
+
+    # -- failure/cancellation lifecycle ------------------------------------------
+    def release_message(self, message: SprightMessage) -> None:
+        """Free the message's pool buffer exactly once (requester or chain)."""
+        if not message.freed:
+            message.freed = True
+            self.pool.free(message.handle)
+
+    def _fail_message(self, message: SprightMessage, error: DeliveryError) -> None:
+        """Delivery failed mid-chain: release the buffer and wake the
+        requester with the typed error (surfaced via ``failed_error`` —
+        failing the ``done`` event would crash abandoned hedges)."""
+        message.failed_error = error
+        self.release_message(message)
+        self.node.counters.incr("faults/chain_failures")
+        if not message.done.triggered:
+            message.done.succeed(None)
 
     # -- workers -------------------------------------------------------------------
     def _function_worker(self, function_name: str, pod: Pod, endpoint):
@@ -448,14 +525,30 @@ class SprightChainRuntime:
         yield from self.transport.receive_costs(
             endpoint, ops, message.trace, message.pending_stage
         )
+        if message.cancelled:
+            # The requester gave up while the descriptor was in flight; the
+            # chain now owns (and drops) the buffer.
+            self.release_message(message)
+            return
         # Zero-copy: the function reads the payload in place, resolving the
         # wire descriptor's (offset, generation) identity through the pool.
         payload = self._resolve_payload(message)
         if message.request is not None:
             message.request.mark(f"deliver:{function_name}", self.node.env.now)
-        result = yield from pod.serve(payload)
+        try:
+            result = yield from pod.serve(payload)
+        except DeliveryError as error:
+            # The pod crashed mid-request (fault injection): surface the
+            # typed failure to the requester instead of crashing the worker.
+            if message.request is not None:
+                message.request.mark(f"crash:{function_name}", self.node.env.now)
+            self._fail_message(message, error)
+            return
         if message.request is not None:
             message.request.mark(f"served:{function_name}", self.node.env.now)
+        if message.cancelled:
+            self.release_message(message)
+            return
         # In-place update of the buffer with the function's output.
         self.pool.write(message.handle, result.payload)
         message.topic = result.topic or message.topic
@@ -498,6 +591,11 @@ class SprightChainRuntime:
         yield from self.transport.receive_costs(
             self.gateway_endpoint, ops, message.trace, None
         )
+        if message.cancelled:
+            # Nobody is waiting for this response anymore (timeout/hedge
+            # loss): the chain drops the buffer instead of the requester.
+            self.release_message(message)
+            return
         message.response = self._resolve_payload(message)
         if not message.done.triggered:
             message.done.succeed(message.response)

@@ -13,7 +13,7 @@ from typing import Optional
 
 from ...audit import Stage
 from ...runtime import MetricsServer
-from ...simcore import Event
+from ...simcore import Event, Interrupt
 from ..base import Dataplane, ProxyComponent, Request, RequestClass
 from ..legs import external_arrival, leg_kernel
 from .adapter import AdapterHookPoint, CoapAdapter, HttpAdapter, MqttAdapter
@@ -139,20 +139,34 @@ class _SprightBase(Dataplane):
         )
         request.mark("gateway", self.node.env.now)
         head = request.request_class.sequence[0]
-        yield from runtime.dispatch(message, head, self.deployments.get(head))
+        try:
+            yield from runtime.dispatch(message, head, self.deployments.get(head))
 
-        # DFR: all further hops bypass the gateway; we simply wait for the
-        # response descriptor to come back (⑧).
-        response = yield message.done
+            # DFR: all further hops bypass the gateway; we simply wait for
+            # the response descriptor to come back (⑧).
+            response = yield message.done
+            if message.failed_error is not None:
+                # The chain could not deliver (descriptor drop, pod crash,
+                # ...); the buffer was already released by the runtime.
+                raise message.failed_error
 
-        # ⑨: construct the HTTP response to the external client (costed,
-        # outside the audited pipeline like the other planes).
-        response_bundle = gateway.ops.bundle()
-        response_bundle.serialize(len(response), trace, None)
-        response_bundle.copy(len(response), trace, None)
-        response_bundle.protocol_processing(len(response), trace, None)
-        yield response_bundle.commit()
-        runtime.pool.free(handle)
+            # ⑨: construct the HTTP response to the external client (costed,
+            # outside the audited pipeline like the other planes).
+            response_bundle = gateway.ops.bundle()
+            response_bundle.serialize(len(response), trace, None)
+            response_bundle.copy(len(response), trace, None)
+            response_bundle.protocol_processing(len(response), trace, None)
+            yield response_bundle.commit()
+        except Interrupt:
+            # Cancelled by the resilience layer (timeout / hedge raced out).
+            # If the chain still holds the message, buffer ownership moves
+            # to it — the next worker checkpoint frees it; otherwise (never
+            # delivered, or the response already came back) free here.
+            message.cancelled = True
+            if message.done.triggered or not message.in_chain:
+                runtime.release_message(message)
+            raise
+        runtime.release_message(message)
         request.mark("response", self.node.env.now)
         request.response = response
         return request

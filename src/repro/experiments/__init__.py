@@ -10,12 +10,14 @@
 | parking_exp   | Fig 12               |
 | xdp_exp       | §3.5 claim           |
 | ablations     | design-choice ablations |
+| faults_exp    | resilience table (fault injection) |
 """
 
 from . import (
     ablations,
     audits,
     boutique_exp,
+    faults_exp,
     fig2,
     fig5,
     motion_exp,
@@ -27,6 +29,7 @@ __all__ = [
     "ablations",
     "audits",
     "boutique_exp",
+    "faults_exp",
     "fig2",
     "fig5",
     "motion_exp",

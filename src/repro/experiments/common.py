@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from ..audit import Auditor
+from ..faults import FaultPlan, ResiliencePolicy
 from ..dataplane import (
     DSprightDataplane,
     GrpcDataplane,
@@ -125,11 +126,16 @@ def run_closed_loop(
     knative_params: Optional[KnativeParams] = None,
     spright_params: Optional[SprightParams] = None,
     sanitize: Optional[bool] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> ScenarioResult:
     """One closed-loop scenario on a fresh node.
 
     ``sanitize`` forces memory-safety checked mode on (True) or off (False)
     for SPRIGHT planes; None defers to the params / process-wide default.
+    ``fault_plan`` arms the node's fault injector; ``resilience`` attaches a
+    gateway-side retry/hedge/breaker policy. Both default to inert, keeping
+    fault-free runs bit-identical.
     """
     node = make_node(scale=scale, seed=seed)
     if sanitize is not None:
@@ -143,6 +149,10 @@ def run_closed_loop(
         knative_params=knative_params,
         spright_params=spright_params,
     )
+    if fault_plan is not None:
+        node.faults.arm(fault_plan)
+    if resilience is not None:
+        plane.use_resilience(resilience)
     recorder = LatencyRecorder()
     auditor = Auditor(name=plane_name) if audit else None
     generator = ClosedLoopGenerator(
@@ -167,6 +177,7 @@ def run_closed_loop(
         node=node,
         plane_obj=plane,
         auditor=auditor,
+        extras={"generator": generator},
     )
 
 

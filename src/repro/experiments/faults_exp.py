@@ -1,0 +1,295 @@
+"""Resilience experiment: the four planes under injected faults.
+
+Reruns the online-boutique (closed loop) and motion-detection (open loop)
+workloads with a :class:`~repro.faults.FaultPlan` armed — packet loss on
+the veth/NIC path, pod crashes, ring overflow — and a gateway-side
+:class:`~repro.faults.ResiliencePolicy` (timeout + retries + optional
+hedging + circuit breaker) absorbing what it can. The output is a
+*resilience table*: per plane and workload, p50/p99/p999 latency of the
+requests that completed, goodput (successful completions per second),
+and how hard the policy had to work (retries, hedges, breaker trips).
+
+With an empty plan and an inert policy every run is bit-identical to the
+fault-free experiments: the injector makes zero RNG draws while disarmed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..faults import FaultPlan, ResiliencePolicy, load_plan
+from ..stats import format_table
+from ..workloads import boutique
+from .boutique_exp import SPAWN_RATES, USERS, knative_boutique_params
+from .common import run_closed_loop
+from .motion_exp import run_motion
+
+ALL_PLANES = ("knative", "grpc", "s-spright", "d-spright")
+
+# Counter names the table aggregates, all maintained by repro.faults.
+RESILIENCE_COUNTERS = ("retry", "hedge", "hedge_win", "timeout", "exhausted")
+
+
+@dataclass
+class FaultRunResult:
+    """One (plane, workload) cell of the resilience table."""
+
+    plane: str
+    workload: str
+    duration: float
+    sent: int
+    completed: int
+    failed: int
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    injected: dict = field(default_factory=dict)
+    resilience: dict = field(default_factory=dict)
+    breaker_trips: int = 0
+
+    @property
+    def goodput(self) -> float:
+        """Successful completions per simulated second."""
+        return self.completed / self.duration if self.duration else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "plane": self.plane,
+            "workload": self.workload,
+            "sent": self.sent,
+            "completed": self.completed,
+            "failed": self.failed,
+            "goodput": self.goodput,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "injected": dict(self.injected),
+            "resilience": dict(self.resilience),
+            "breaker_trips": self.breaker_trips,
+        }
+
+
+def _latency_cells(recorder) -> tuple[float, float, float]:
+    if recorder.count("") == 0:
+        return (float("nan"),) * 3
+    summary = recorder.summary("")
+    return summary.p50 * 1e3, summary.p99 * 1e3, summary.p999 * 1e3
+
+
+def _harvest(node, plane_obj) -> tuple[dict, dict, int]:
+    """Pull faults/* counters and breaker trips out of a finished run."""
+    counters = node.counters.as_dict()
+    injected = {
+        name.rsplit("/", 1)[-1]: count
+        for name, count in sorted(counters.items())
+        if name.startswith("faults/injected/")
+    }
+    resilience = {
+        name: counters.get(f"faults/resilience/{name}", 0)
+        for name in RESILIENCE_COUNTERS
+    }
+    # Failures the chain absorbed (SPRIGHT worker-side) also count as injected
+    # effects worth surfacing, as do per-kind terminal failures.
+    for name, count in sorted(counters.items()):
+        if name.startswith("faults/failed/"):
+            injected.setdefault(f"failed_{name.rsplit('/', 1)[-1]}", count)
+    trips = plane_obj.resilience.breaker_trips() if plane_obj.resilience else 0
+    return injected, resilience, trips
+
+
+def run_faults_boutique(
+    plane: str,
+    fault_plan: Optional[FaultPlan] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    scale: float = 0.05,
+    duration: float = 30.0,
+    seed: int = 2022,
+) -> FaultRunResult:
+    """Boutique closed loop on one plane with faults + resilience armed."""
+    users = max(8, int(USERS[plane] * scale))
+    spawn_rate = max(4.0, SPAWN_RATES[plane] * scale)
+    functions = (
+        boutique.spright_functions()
+        if plane in ("s-spright", "d-spright")
+        else boutique.go_grpc_functions()
+    )
+    result = run_closed_loop(
+        plane,
+        functions,
+        boutique.request_classes(),
+        concurrency=users,
+        duration=duration,
+        scale=scale,
+        seed=seed,
+        spawn_rate=spawn_rate,
+        think_time=boutique.locust_think_time,
+        client_overhead=0.0005,
+        knative_params=knative_boutique_params() if plane == "knative" else None,
+        fault_plan=fault_plan,
+        resilience=policy,
+    )
+    generator = result.extras["generator"]
+    injected, resilience, trips = _harvest(result.node, result.plane_obj)
+    p50, p99, p999 = _latency_cells(result.recorder)
+    return FaultRunResult(
+        plane=plane,
+        workload="boutique",
+        duration=duration,
+        sent=generator.requests_sent,
+        completed=result.recorder.count(""),
+        failed=generator.requests_failed,
+        p50_ms=p50,
+        p99_ms=p99,
+        p999_ms=p999,
+        injected=injected,
+        resilience=resilience,
+        breaker_trips=trips,
+    )
+
+
+def run_faults_motion(
+    plane: str,
+    fault_plan: Optional[FaultPlan] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    duration: float = 600.0,
+    seed: int = 2022,
+) -> FaultRunResult:
+    """Motion open loop on one plane with faults + resilience armed."""
+    run = run_motion(
+        plane,
+        duration=duration,
+        seed=seed,
+        fault_plan=fault_plan,
+        resilience=policy,
+    )
+    injected, resilience, trips = _harvest(run.node, run.plane_obj)
+    p50, p99, p999 = _latency_cells(run.recorder)
+    return FaultRunResult(
+        plane=plane,
+        workload="motion",
+        duration=duration,
+        sent=run.generator.submitted,
+        completed=run.recorder.count(""),
+        failed=run.generator.failed,
+        p50_ms=p50,
+        p99_ms=p99,
+        p999_ms=p999,
+        injected=injected,
+        resilience=resilience,
+        breaker_trips=trips,
+    )
+
+
+def default_policy(
+    retries: int = 2,
+    hedge_delay: Optional[float] = None,
+    timeout: float = 1.0,
+) -> ResiliencePolicy:
+    """The CLI's policy shape: timeout + retries, breaker armed, opt-in hedge."""
+    return ResiliencePolicy(
+        timeout=timeout,
+        retries=retries,
+        hedge_delay=hedge_delay,
+        breaker_threshold=8,
+        breaker_reset=2.0,
+    )
+
+
+def run_resilience_suite(
+    fault_plan: Optional[FaultPlan] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    planes: Sequence[str] = ALL_PLANES,
+    scale: float = 0.05,
+    boutique_duration: float = 30.0,
+    motion_duration: float = 600.0,
+    seed: int = 2022,
+) -> list[FaultRunResult]:
+    """Both workloads on every plane; the resilience table's row source."""
+    if fault_plan is None:
+        fault_plan = load_plan("loss-crash")
+    if policy is None:
+        policy = default_policy()
+    results = []
+    for plane in planes:
+        results.append(
+            run_faults_boutique(
+                plane,
+                fault_plan=fault_plan,
+                policy=policy,
+                scale=scale,
+                duration=boutique_duration,
+                seed=seed,
+            )
+        )
+    for plane in planes:
+        results.append(
+            run_faults_motion(
+                plane,
+                fault_plan=fault_plan,
+                policy=policy,
+                duration=motion_duration,
+                seed=seed,
+            )
+        )
+    return results
+
+
+def format_resilience_table(
+    results: Sequence[FaultRunResult], plan_name: str = ""
+) -> str:
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.plane,
+                r.workload,
+                r.sent,
+                r.failed,
+                round(r.goodput, 1),
+                round(r.p50_ms, 3),
+                round(r.p99_ms, 3),
+                round(r.p999_ms, 3),
+                r.resilience.get("retry", 0),
+                r.resilience.get("hedge", 0),
+                r.breaker_trips,
+            ]
+        )
+    title = "Resilience under injected faults"
+    if plan_name:
+        title += f" (plan: {plan_name})"
+    return format_table(
+        [
+            "plane",
+            "workload",
+            "sent",
+            "failed",
+            "goodput (rps)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "retries",
+            "hedges",
+            "breaker trips",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def format_fault_counters(results: Sequence[FaultRunResult]) -> str:
+    """Per-run faults/* counter dump, the table's audit trail."""
+    rows = []
+    for r in results:
+        for name, count in sorted(r.injected.items()):
+            rows.append([r.plane, r.workload, f"injected/{name}", count])
+        for name, count in sorted(r.resilience.items()):
+            if count:
+                rows.append([r.plane, r.workload, f"resilience/{name}", count])
+    if not rows:
+        rows.append(["-", "-", "(no faults fired)", 0])
+    return format_table(
+        ["plane", "workload", "counter", "count"],
+        rows,
+        title="Fault injection + resilience counters",
+    )

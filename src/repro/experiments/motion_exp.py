@@ -31,6 +31,7 @@ class MotionRun:
     node: object
     plane_obj: object
     cold_starts: int
+    generator: object = None  # the OpenLoopGenerator (submitted/failed counts)
 
     def latency_ms(self, which: str = "mean") -> float:
         summary = self.recorder.summary("")
@@ -55,8 +56,14 @@ def run_motion(
     seed: int = 2022,
     grace_period: float = 30.0,
     trace_params: Optional[MotionTraceParams] = None,
+    fault_plan=None,
+    resilience=None,
 ) -> MotionRun:
-    """One plane over the same synthetic MERL-like trace."""
+    """One plane over the same synthetic MERL-like trace.
+
+    ``fault_plan``/``resilience`` (see :mod:`repro.faults`) rerun the trace
+    under injected failures with gateway-side retries; both default inert.
+    """
     params = trace_params or MotionTraceParams(duration=duration)
     node = make_node(seed=seed)
     zero_scale = plane in ("knative", "grpc")
@@ -68,6 +75,10 @@ def run_motion(
     )
     metrics = MetricsServer()
     plane_obj = build_plane(plane, node, functions, kubelet=kubelet, metrics_server=metrics)
+    if fault_plan is not None:
+        node.faults.arm(fault_plan)
+    if resilience is not None:
+        plane_obj.use_resilience(resilience)
     if zero_scale:
         autoscaler = Autoscaler(node, metrics)
         for deployment in plane_obj.deployments.values():
@@ -78,7 +89,8 @@ def run_motion(
         autoscaler.start()
     recorder = LatencyRecorder()
     trace = synthesize_motion_trace(node, params)
-    OpenLoopGenerator(node, plane_obj, trace, recorder).start()
+    generator = OpenLoopGenerator(node, plane_obj, trace, recorder)
+    generator.start()
     node.run(until=duration)
     return MotionRun(
         plane=plane,
@@ -87,6 +99,7 @@ def run_motion(
         node=node,
         plane_obj=plane_obj,
         cold_starts=node.counters.get(f"{plane_obj.plane}/cold_starts"),
+        generator=generator,
     )
 
 

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and gateway-side resilience.
+
+Two halves, deliberately decoupled:
+
+* :mod:`repro.faults.injector` breaks things — packet drops/corruption,
+  ring overflows and stalls, pod crashes/hangs/slowdowns, eBPF map
+  evictions — on a reproducible schedule driven by the node's
+  :class:`~repro.simcore.RandomStreams`;
+* :mod:`repro.faults.resilience` survives them — per-attempt timeouts,
+  capped-backoff retries, hedged requests, and per-function circuit
+  breakers applied uniformly by all four dataplane gateways.
+
+Both are inert by default: a node with an unarmed injector and a plane
+with the default :class:`ResiliencePolicy` run bit-identically to builds
+without this package.
+"""
+
+from .injector import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+from .plans import NAMED_PLANS, load_plan
+from .resilience import (
+    BACKOFF_STREAM,
+    HEDGE_STREAM,
+    CircuitBreaker,
+    ResilienceController,
+    ResiliencePolicy,
+)
+
+__all__ = [
+    "BACKOFF_STREAM",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "HEDGE_STREAM",
+    "NAMED_PLANS",
+    "ResilienceController",
+    "ResiliencePolicy",
+    "load_plan",
+]

@@ -1,0 +1,85 @@
+"""Named fault plans for the CLI and the resilience experiment suite.
+
+``--fault-plan`` accepts either one of these names or a path to a JSON file
+matching :meth:`FaultPlan.from_dict`. The plans are deliberately small and
+legible — each one isolates a failure family the paper's resilience story
+must survive.
+"""
+
+from __future__ import annotations
+
+from .injector import FaultKind, FaultPlan, FaultSpec
+
+
+def _loss_crash() -> FaultPlan:
+    """The acceptance scenario: 1% packet loss plus a mid-run pod crash."""
+    return FaultPlan(
+        name="loss-crash",
+        faults=[
+            FaultSpec(kind=FaultKind.PACKET_DROP, probability=0.01),
+            FaultSpec(kind=FaultKind.POD_CRASH, at=2.0, duration=3.0),
+        ],
+    )
+
+
+def _lossy() -> FaultPlan:
+    """Pure 1% stochastic packet loss on every device and kernel leg."""
+    return FaultPlan(
+        name="lossy",
+        faults=[FaultSpec(kind=FaultKind.PACKET_DROP, probability=0.01)],
+    )
+
+
+def _crashy() -> FaultPlan:
+    """Two pod crashes with staggered recovery plus a short hang."""
+    return FaultPlan(
+        name="crashy",
+        faults=[
+            FaultSpec(kind=FaultKind.POD_CRASH, at=1.0, duration=2.0),
+            FaultSpec(kind=FaultKind.POD_CRASH, at=4.0, duration=2.0),
+            FaultSpec(kind=FaultKind.POD_HANG, at=7.0, duration=1.0),
+        ],
+    )
+
+
+def _ring_pressure() -> FaultPlan:
+    """Shared-memory stress: forced ring overflows plus descriptor stalls."""
+    return FaultPlan(
+        name="ring-pressure",
+        faults=[
+            FaultSpec(kind=FaultKind.RING_OVERFLOW, probability=0.02),
+            FaultSpec(
+                kind=FaultKind.RING_STALL, at=1.0, duration=2.0, magnitude=0.0005
+            ),
+        ],
+    )
+
+
+def _map_churn() -> FaultPlan:
+    """eBPF map evictions: sockmap entries vanish, SPROXY must re-register."""
+    return FaultPlan(
+        name="map-churn",
+        faults=[
+            FaultSpec(kind=FaultKind.MAP_EVICT, at=1.5, magnitude=2),
+            FaultSpec(kind=FaultKind.MAP_EVICT, at=3.0, magnitude=2),
+        ],
+    )
+
+
+NAMED_PLANS = {
+    "loss-crash": _loss_crash,
+    "lossy": _lossy,
+    "crashy": _crashy,
+    "ring-pressure": _ring_pressure,
+    "map-churn": _map_churn,
+}
+
+
+def load_plan(spec: str) -> FaultPlan:
+    """Resolve ``--fault-plan``: a registered name, a JSON path, or 'none'."""
+    if spec in ("", "none", "empty"):
+        return FaultPlan.empty()
+    factory = NAMED_PLANS.get(spec)
+    if factory is not None:
+        return factory()
+    return FaultPlan.from_json(spec)

@@ -1,0 +1,344 @@
+"""Resilience policies the gateways apply around request delivery.
+
+The paper extracts the "server" (queue proxy, retries, health checks) out of
+the pod; something still has to own the client-visible failure handling.
+This module is that something, shared by all four dataplane gateways:
+
+* **per-attempt timeout** — an attempt round that exceeds ``timeout`` is
+  cancelled (its processes interrupted, resources released) and counted as
+  a ``DeliveryError(kind="timeout")``;
+* **retries with capped exponential backoff** — failed retryable attempts
+  are retried up to ``retries`` times after
+  ``min(backoff_base * 2**attempt, backoff_cap)`` plus deterministic
+  jitter drawn from the ``resilience/backoff`` RNG stream;
+* **request hedging** — after ``hedge_delay`` with no response, a cloned
+  attempt is launched (à la "Modeling of Request Cloning in Cloud Server
+  Systems using Processor Sharing", PAPERS.md); first completion wins and
+  the losers are cancelled;
+* **per-function circuit breaker** — ``breaker_threshold`` consecutive
+  failures open the breaker for ``breaker_reset`` seconds, failing calls
+  fast with ``kind="breaker_open"`` so a dead function cannot absorb the
+  whole retry budget. A single probe is admitted half-open.
+
+Everything is deterministic: jitter comes from named ``RandomStreams``, and
+with the default :class:`ResiliencePolicy` (no timeout, no retries, no
+hedging) the controller is never engaged, so fault-free runs make zero
+extra RNG draws and stay bit-identical to builds without this subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..simcore import DeliveryError, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dataplane.base import Dataplane, Request
+    from ..simcore import RandomStreams
+
+#: RNG stream names (module-level so tests and docs agree on the spelling)
+BACKOFF_STREAM = "resilience/backoff"
+HEDGE_STREAM = "resilience/hedge"
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for the gateway-side resilience controller.
+
+    The default constructs an entirely inert policy: no timeout, no
+    retries, no hedging, breaker disabled. ``Dataplane.submit`` only
+    engages the controller when :meth:`enabled` is true.
+    """
+
+    timeout: Optional[float] = None  # per-attempt deadline (seconds)
+    retries: int = 0  # extra attempts after the first
+    backoff_base: float = 0.002  # first backoff (seconds)
+    backoff_cap: float = 0.25  # exponential growth ceiling
+    backoff_jitter: float = 0.5  # +- fraction of the delay
+    hedge_delay: Optional[float] = None  # None = hedging off
+    hedge_max: int = 1  # extra cloned attempts per round
+    breaker_threshold: int = 0  # 0 = breaker disabled
+    breaker_reset: float = 1.0  # open -> half-open cooldown
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.hedge_delay is not None and self.hedge_delay <= 0:
+            raise ValueError("hedge_delay must be positive")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
+
+    def enabled(self) -> bool:
+        return (
+            self.timeout is not None
+            or self.retries > 0
+            or self.hedge_delay is not None
+            or self.breaker_threshold > 0
+        )
+
+    # -- deterministic delays (unit-testable without an Environment) ---------------
+    def backoff_delay(self, rng: "RandomStreams", attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered.
+
+        ``delay = min(base * 2**(attempt-1), cap)`` then scaled by a
+        uniform factor in ``[1 - jitter, 1 + jitter]`` drawn from the
+        ``resilience/backoff`` stream — deterministic per seed.
+        """
+        delay = min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)
+        if self.backoff_jitter > 0:
+            delay *= rng.uniform(
+                BACKOFF_STREAM, 1.0 - self.backoff_jitter, 1.0 + self.backoff_jitter
+            )
+        return delay
+
+    def hedge_jitter(self, rng: "RandomStreams") -> float:
+        """Jittered hedge trigger delay (breaks clone synchronization)."""
+        assert self.hedge_delay is not None
+        if self.backoff_jitter <= 0:
+            return self.hedge_delay
+        return self.hedge_delay * rng.uniform(
+            HEDGE_STREAM, 1.0 - self.backoff_jitter, 1.0 + self.backoff_jitter
+        )
+
+
+class CircuitBreaker:
+    """Per-function consecutive-failure breaker (closed/open/half-open)."""
+
+    def __init__(self, env, threshold: int, reset_after: float) -> None:
+        self.env = env
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+        self._probe_inflight = False
+
+    def allow(self) -> bool:
+        if self.threshold <= 0 or self.opened_at is None:
+            return True
+        if self.env.now - self.opened_at < self.reset_after:
+            return False
+        # half-open: admit exactly one probe until it reports back
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        self._probe_inflight = False
+        self.failures += 1
+        if self.threshold > 0 and self.failures >= self.threshold:
+            if self.opened_at is None:
+                self.trips += 1
+            self.opened_at = self.env.now
+
+
+class _Attempt:
+    """Bookkeeping for one (possibly hedged) delivery attempt."""
+
+    __slots__ = ("process", "request", "error", "done")
+
+    def __init__(self, request: "Request") -> None:
+        self.process = None
+        self.request = request
+        self.error: Optional[DeliveryError] = None
+        self.done = False
+
+
+class ResilienceController:
+    """Drives delivery attempts for one dataplane according to a policy.
+
+    One controller per dataplane; breakers are keyed by the request's entry
+    function (the chain head for chained planes, which is where DFR routing
+    and the autoscaler already make their decisions). Counters land in the
+    node's ``faults/resilience/*`` namespace, and every action is marked on
+    the winning request's timeline (``retry:N``, ``hedge:launch``,
+    ``hedge:win``, ``breaker:open``).
+    """
+
+    def __init__(self, plane: "Dataplane", policy: ResiliencePolicy) -> None:
+        self.plane = plane
+        self.policy = policy
+        self.env = plane.node.env
+        self.rng = plane.node.rng
+        self.counters = plane.node.counters
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, function: str) -> CircuitBreaker:
+        breaker = self._breakers.get(function)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.env, self.policy.breaker_threshold, self.policy.breaker_reset
+            )
+            self._breakers[function] = breaker
+        return breaker
+
+    def breaker_trips(self) -> int:
+        return sum(breaker.trips for breaker in self._breakers.values())
+
+    # -- the main engine -----------------------------------------------------------
+    def execute(self, request: "Request"):
+        """Deliver ``request`` under the policy (simulation generator).
+
+        On success the original ``request`` carries the winning attempt's
+        completion state. On exhaustion it is marked failed with the last
+        :class:`DeliveryError` stored on ``request.error``.
+        """
+        policy = self.policy
+        entry = request.request_class.sequence[0]
+        breaker = self.breaker_for(entry)
+        last_error: Optional[DeliveryError] = None
+
+        for attempt_no in range(policy.retries + 1):
+            if not breaker.allow():
+                self.counters.incr("faults/resilience/breaker_fastfail")
+                request.mark("breaker:open", self.env.now)
+                last_error = DeliveryError("breaker_open", f"breaker open for {entry}")
+                break
+            if attempt_no > 0:
+                self.counters.incr("faults/resilience/retry")
+                request.mark(f"retry:{attempt_no}", self.env.now)
+                yield self.env.timeout(self.backoff_delay(attempt_no))
+
+            error = yield from self._race(request, attempt_no)
+            if error is None:
+                breaker.record_success()
+                return
+            last_error = error
+            breaker.record_failure()
+            if not error.retryable:
+                break
+
+        request.failed = True
+        request.error = last_error
+        request.mark("failed", self.env.now)
+        self.counters.incr("faults/resilience/exhausted")
+
+    def backoff_delay(self, attempt: int) -> float:
+        return self.policy.backoff_delay(self.rng, attempt)
+
+    # -- one attempt round: primary + optional hedges, first win cancels the rest --
+    def _race(self, request: "Request", attempt_no: int):
+        """Run one attempt round. Returns None on success, else the error.
+
+        The primary attempt runs on the original request (keeping its audit
+        trace and timeline); hedges run on shadow clones sharing the
+        timeline list, so ``hedge:*`` marks land on the visible request.
+        """
+        policy = self.policy
+        attempts = [self._spawn(request, attempt_no, hedge=0)]
+        hedges_launched = 0
+        deadline = (
+            self.env.timeout(policy.timeout) if policy.timeout is not None else None
+        )
+
+        while True:
+            waits = [attempt.process for attempt in attempts if not attempt.done]
+            if not waits:
+                break
+            if deadline is not None and not deadline.processed:
+                waits.append(deadline)
+            hedge_timer = None
+            if (
+                policy.hedge_delay is not None
+                and hedges_launched < policy.hedge_max
+                and not any(attempt.done for attempt in attempts)
+            ):
+                hedge_timer = self.env.timeout(policy.hedge_jitter(self.rng))
+                waits.append(hedge_timer)
+
+            yield self.env.any_of(waits)
+
+            winner = self._winner(attempts)
+            if winner is not None:
+                self._cancel_losers(attempts, winner)
+                if winner.request is not request:
+                    self._adopt(request, winner.request)
+                    request.mark("hedge:win", self.env.now)
+                    self.counters.incr("faults/resilience/hedge_win")
+                return None
+            if deadline is not None and deadline.processed:
+                self._cancel_losers(attempts, None)
+                self.counters.incr("faults/resilience/timeout")
+                return DeliveryError("timeout", f"attempt round {attempt_no} timed out")
+            if all(attempt.done for attempt in attempts):
+                break
+            if hedge_timer is not None and hedge_timer.processed:
+                hedges_launched += 1
+                self.counters.incr("faults/resilience/hedge")
+                request.mark("hedge:launch", self.env.now)
+                attempts.append(
+                    self._spawn_shadow(request, attempt_no, hedges_launched)
+                )
+
+        # every attempt failed on its own: surface the primary's error
+        for attempt in attempts:
+            if attempt.error is not None:
+                return attempt.error
+        return DeliveryError("crash", "all attempts failed without detail")
+
+    def _spawn(self, request: "Request", attempt_no: int, hedge: int) -> _Attempt:
+        attempt = _Attempt(request)
+
+        def runner():
+            try:
+                yield from self.plane.deliver_once(request)
+            except DeliveryError as error:
+                attempt.error = error
+            except Interrupt:
+                attempt.error = DeliveryError("timeout", "attempt cancelled")
+            finally:
+                attempt.done = True
+
+        attempt.process = self.env.process(
+            runner(),
+            name=f"attempt-{request.request_class.name}-a{attempt_no}h{hedge}",
+        )
+        return attempt
+
+    def _spawn_shadow(
+        self, request: "Request", attempt_no: int, hedge: int
+    ) -> _Attempt:
+        """Launch a hedge on a clone: same identity/timeline, no audit trace
+        (so kernel-op audits are not double-counted by cloned traversals)."""
+        from ..dataplane.base import Request
+
+        shadow = Request(
+            request_class=request.request_class,
+            payload=request.payload,
+            created_at=request.created_at,
+            trace=None,
+        )
+        shadow.timeline = request.timeline  # shared: marks land on the original
+        return self._spawn(shadow, attempt_no, hedge)
+
+    def _winner(self, attempts: list[_Attempt]) -> Optional[_Attempt]:
+        for attempt in attempts:
+            if attempt.done and attempt.error is None and not attempt.request.failed:
+                return attempt
+        return None
+
+    def _cancel_losers(
+        self, attempts: list[_Attempt], winner: Optional[_Attempt]
+    ) -> None:
+        for attempt in attempts:
+            if attempt is winner or attempt.done:
+                continue
+            if attempt.process.is_alive:
+                attempt.process.interrupt("cancelled: raced out")
+                self.counters.incr("faults/resilience/cancelled")
+
+    def _adopt(self, request: "Request", shadow: "Request") -> None:
+        """Copy a winning hedge's completion state onto the original."""
+        request.response = shadow.response
+        request.completed_at = shadow.completed_at
+        request.failed = shadow.failed
+        request.error = shadow.error

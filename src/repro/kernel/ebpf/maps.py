@@ -129,6 +129,10 @@ class MapRegistry:
         self._maps[fd] = bpf_map
         return fd
 
+    def maps(self) -> list[BpfMap]:
+        """All live maps in fd order (deterministic iteration for tooling)."""
+        return [self._maps[fd] for fd in sorted(self._maps)]
+
     def get(self, fd: int) -> BpfMap:
         bpf_map = self._maps.get(fd)
         if bpf_map is None:

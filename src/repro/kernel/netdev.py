@@ -18,11 +18,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class DeviceRegistry:
-    """ifindex -> device, for redirect verdict resolution."""
+    """ifindex -> device, for redirect verdict resolution.
+
+    Also the seam where fault injection reaches the frame paths: the
+    owning node points ``faults`` at its :class:`FaultInjector`, and every
+    device consults it on RX/TX. ``faults`` stays ``None`` for registries
+    built outside a node (unit tests), keeping devices standalone.
+    """
 
     def __init__(self) -> None:
         self._devices: dict[int, "NetDevice"] = {}
         self._next_ifindex = 1
+        self.faults = None  # set by WorkerNode; duck-typed FaultInjector
 
     def register(self, device: "NetDevice") -> int:
         ifindex = self._next_ifindex
@@ -53,15 +60,32 @@ class NetDevice:
         self.rx_queue: Store = Store(env)
         self.frames_received = 0
         self.frames_sent = 0
+        self.frames_dropped = 0    # fault injection: lost frames
+        self.frames_corrupted = 0  # fault injection: checksum discards
 
     def receive_frame(self, packet: Packet) -> None:
         """Enqueue a frame arriving at this device."""
+        faults = self.registry.faults
+        if faults is not None and faults.active:
+            if faults.drop_packet("rx", self.name):
+                self.frames_dropped += 1
+                return
+            if faults.corrupt_packet("rx", self.name):
+                # A corrupted frame fails its checksum and is discarded at
+                # the driver; the sender never learns.
+                self.frames_corrupted += 1
+                return
         self.frames_received += 1
         packet.ingress_ifindex = self.ifindex
         self.rx_queue.try_put(packet)
 
-    def send_frame(self, packet: Packet) -> None:
+    def send_frame(self, packet: Packet) -> bool:
+        faults = self.registry.faults
+        if faults is not None and faults.active and faults.drop_packet("tx", self.name):
+            self.frames_dropped += 1
+            return False
         self.frames_sent += 1
+        return True
 
 
 class PhysicalNic(NetDevice):
@@ -91,12 +115,14 @@ class VethEndpoint(NetDevice):
         self.peer: Optional["VethEndpoint"] = None
         self.tc_hook = HookPoint(f"tc@{name}", ProgramType.TC, vm) if is_host_side else None
 
-    def send_frame(self, packet: Packet) -> None:
+    def send_frame(self, packet: Packet) -> bool:
         """Transmitting on one side makes the frame appear on the peer."""
-        super().send_frame(packet)
         if self.peer is None:
             raise RuntimeError(f"veth {self.name} has no peer")
+        if not super().send_frame(packet):
+            return False  # dropped on the TX path; the peer never sees it
         self.peer.receive_frame(packet)
+        return True
 
 
 class VethPair:

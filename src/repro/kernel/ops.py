@@ -28,11 +28,16 @@ class KernelOps:
         cpu: "CpuSet",
         costs: CostModel,
         tag: str,
+        faults=None,
     ) -> None:
         self.env = env
         self.cpu = cpu
         self.costs = costs
         self.tag = tag
+        # Duck-typed FaultInjector (or None): kernel transfer legs consult
+        # it so Knative/gRPC paths — which move bytes as costed bundles,
+        # not frames — see the same loss process as frame-level devices.
+        self.faults = faults
 
     # -- internals ---------------------------------------------------------
     def _charge(self, seconds: float, tag: Optional[str] = None) -> "Event":

@@ -39,7 +39,11 @@ class RteRing:
         self.enqueued = 0
         self.dequeued = 0
         self.drops = 0
+        self.forced_drops = 0
         self._waiters: list[Event] = []
+        # Fault injection: called with the ring name before each enqueue;
+        # returning True makes the enqueue behave as if the ring were full.
+        self.fault_hook: Optional[Callable[[str], bool]] = None
 
     @property
     def single_producer(self) -> bool:
@@ -59,6 +63,10 @@ class RteRing:
 
     def enqueue(self, item: object) -> bool:
         """rte_ring_enqueue: returns False when the ring is full."""
+        if self.fault_hook is not None and self.fault_hook(self.name):
+            self.drops += 1
+            self.forced_drops += 1
+            return False
         if len(self._items) >= self.size:
             self.drops += 1
             return False

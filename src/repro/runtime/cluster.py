@@ -109,13 +109,31 @@ class ClusterIngress:
             self.in_flight[id(unit)] = 0
         return self.units
 
+    @staticmethod
+    def unit_servable(unit: ChainUnit) -> bool:
+        """A unit can serve only if every function has >= 1 servable pod.
+
+        Pods a :class:`HealthProber` marked unhealthy (or that fault
+        injection crashed) drop out of ``servable_pods``; once any function
+        of the unit has none, the whole chain unit is unroutable.
+        """
+        return all(
+            deployment.servable_pods()
+            for deployment in unit.plane.deployments.values()
+        )
+
     def pick_unit(self) -> ChainUnit:
         if not self.units:
             raise ClusterError("no chain units deployed")
+        candidates = [unit for unit in self.units if self.unit_servable(unit)]
+        if not candidates:
+            # All units down: fall back to all (requests will queue/fail at
+            # the unit rather than crashing the ingress).
+            candidates = self.units
         if self.policy == "round_robin":
-            self._round_robin = (self._round_robin + 1) % len(self.units)
-            return self.units[self._round_robin]
-        return min(self.units, key=lambda unit: self.in_flight[id(unit)])
+            self._round_robin = (self._round_robin + 1) % len(candidates)
+            return candidates[self._round_robin]
+        return min(candidates, key=lambda unit: self.in_flight[id(unit)])
 
     def submit(self, request, source_node: Optional[WorkerNode] = None):
         """Generator: route one request to a unit and run it there."""

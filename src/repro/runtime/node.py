@@ -8,9 +8,11 @@ pool registry, and the RNG streams.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults import FaultInjector
 from ..kernel import DeviceRegistry, FibTable, KernelOps, NodeConfig, PhysicalNic
 from ..kernel.ebpf import MapRegistry, Vm
 from ..mem import PoolRegistry
@@ -62,10 +64,20 @@ class WorkerNode:
         self.clock = NodeClock(self.env)
         self.recorder = LatencyRecorder()
         self.counters = Counter()
+        self.faults = FaultInjector(self)
+        self.devices.faults = self.faults
+        # Pod instance ids are node-scoped (not module-global) so a run's
+        # ids never depend on how many simulations ran earlier in the
+        # process — reproducible in any test order.
+        self._instance_ids = itertools.count(1)
+
+    def next_instance_id(self) -> int:
+        """Next pod instance id on this node (deterministic per run)."""
+        return next(self._instance_ids)
 
     def ops(self, tag: str) -> KernelOps:
         """Kernel-operation vocabulary charged to ``tag``."""
-        return KernelOps(self.env, self.cpu, self.config.costs, tag)
+        return KernelOps(self.env, self.cpu, self.config.costs, tag, self.faults)
 
     def run(self, until: float) -> None:
         self.env.run(until=until)

@@ -14,17 +14,14 @@ Captures the pieces of pod behaviour the paper's experiments hinge on:
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import TYPE_CHECKING, Optional
 
-from ..simcore import Event, Resource
+from ..simcore import DeliveryError, Event, Interrupt, Resource
 from ..stats import SlidingWindowRate
 from .spec import FunctionResult, FunctionSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import WorkerNode
-
-_instance_ids = itertools.count(1)
 
 
 class PodPhase(enum.Enum):
@@ -51,7 +48,9 @@ class Pod:
         self.node = node
         self.spec = spec
         self.cpu_tag = cpu_tag
-        self.instance_id = next(_instance_ids)
+        # Node-scoped so ids are reproducible regardless of what other
+        # simulations ran earlier in the interpreter (satellite of ISSUE 2).
+        self.instance_id = node.next_instance_id()
         self.phase = PodPhase.PENDING
         self.startup_delay = startup_delay
         self.startup_cpu_fraction = startup_cpu_fraction
@@ -63,6 +62,7 @@ class Pod:
         self._terminate_requested = False
         self.healthy = True      # serving flag (probes / fault injection)
         self.responsive = True   # does the pod answer probes at all
+        self.slowdown = 1.0      # service-time multiplier (fault injection)
         self._slots = Resource(node.env, capacity=spec.concurrency)
         self.in_flight = 0
         self.served = 0
@@ -144,7 +144,13 @@ class Pod:
                 f"pod {self.cpu_tag}#{self.instance_id} is {self.phase.value}, not servable"
             )
         request = self._slots.request()
-        yield request
+        try:
+            yield request
+        except Interrupt:
+            # Cancelled (timed out / raced out) while queued for a slot:
+            # withdraw the claim so pod concurrency capacity is not leaked.
+            self._slots.release(request)
+            raise
         self.in_flight += 1
         self.rate_window.observe(self.node.env.now)
         try:
@@ -155,8 +161,16 @@ class Pod:
                 else self._sample_service_time(stream_name)
             )
             service_time += self.spec.runtime_overhead_path + result.extra_service_time
+            if self.slowdown != 1.0:
+                service_time *= self.slowdown
             if service_time > 0:
                 yield self.node.cpu.execute(service_time, self.cpu_tag)
+            if not self.healthy and not self.responsive:
+                # The pod crashed while this request was in flight; the
+                # work is lost and the caller sees a connection reset.
+                raise DeliveryError(
+                    "crash", f"pod {self.cpu_tag}#{self.instance_id} crashed mid-request"
+                )
             if self.spec.runtime_overhead_bg > 0:
                 self.node.cpu.execute(self.spec.runtime_overhead_bg, self.cpu_tag)
             self.served += 1

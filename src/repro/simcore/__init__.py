@@ -14,7 +14,13 @@ Public surface::
 """
 
 from .environment import Environment, NORMAL, URGENT
-from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from .errors import (
+    DeliveryError,
+    EmptySchedule,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+)
 from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
 from .process import Process
 from .resources import (
@@ -37,6 +43,7 @@ __all__ = [
     "CpuAccounting",
     "CpuSet",
     "DedicatedCore",
+    "DeliveryError",
     "EmptySchedule",
     "Environment",
     "Event",

@@ -15,6 +15,37 @@ class EmptySchedule(SimulationError):
     """Raised when the event queue runs dry before the run-until horizon."""
 
 
+class DeliveryError(Exception):
+    """A request could not be delivered or completed by a dataplane.
+
+    Replaces the old "set ``request.failed`` and hope" sentinel contract:
+    every delivery failure carries a ``kind`` so callers (the resilience
+    layer, tests, experiment reports) can distinguish a timeout from a
+    crash from an overload shed and decide whether retrying can help.
+
+    ``kind`` is an open vocabulary; the values used by the repo are:
+
+    * ``"overload"``      — a proxy queue limit shed the request (503);
+    * ``"timeout"``       — the per-attempt deadline expired;
+    * ``"drop"``          — a packet/frame was lost in the kernel path;
+    * ``"corrupt"``       — a frame failed its checksum and was discarded;
+    * ``"crash"``         — the serving pod died mid-request;
+    * ``"descriptor_drop"`` — a SPRIGHT descriptor could not be delivered
+      (sockmap miss, ring overflow, security denial);
+    * ``"breaker_open"``  — the circuit breaker failed the request fast.
+    """
+
+    def __init__(
+        self, kind: str, message: str = "", retryable: bool = True
+    ) -> None:
+        super().__init__(message or kind)
+        self.kind = kind
+        self.retryable = retryable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeliveryError(kind={self.kind!r}, retryable={self.retryable})"
+
+
 class Interrupt(Exception):
     """Thrown into a process when another process interrupts it.
 

@@ -23,6 +23,7 @@ class LatencySummary:
     p50: float
     p95: float
     p99: float
+    p999: float
     minimum: float
     maximum: float
     stddev: float
@@ -34,6 +35,7 @@ class LatencySummary:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "p999": self.p999,
             "min": self.minimum,
             "max": self.maximum,
             "stddev": self.stddev,
@@ -70,6 +72,7 @@ def summarize(samples: list[float]) -> LatencySummary:
         p50=percentile(ordered, 0.50),
         p95=percentile(ordered, 0.95),
         p99=percentile(ordered, 0.99),
+        p999=percentile(ordered, 0.999),
         minimum=ordered[0],
         maximum=ordered[-1],
         stddev=math.sqrt(variance),

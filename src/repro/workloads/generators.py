@@ -156,6 +156,7 @@ class OpenLoopGenerator:
         self.trace = sorted(trace, key=lambda event: event.time)
         self.recorder = recorder
         self.submitted = 0
+        self.failed = 0
 
     def start(self) -> None:
         self.node.env.process(self._run(), name="openloop")
@@ -181,5 +182,10 @@ class OpenLoopGenerator:
             trace=None,
         )
         yield env.process(self.plane.submit(request))
+        if request.failed:
+            # Lost to a fault the resilience policy could not absorb; it
+            # counts against goodput, not toward the latency distribution.
+            self.failed += 1
+            return
         self.recorder.record(env.now, request.latency, group=event.request_class.name)
         self.recorder.record(env.now, request.latency, group="")

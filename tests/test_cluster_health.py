@@ -110,6 +110,46 @@ def test_unknown_policy_rejected():
         ClusterIngress(Cluster(node_count=1), policy="random")
 
 
+def test_ingress_skips_unservable_unit_and_recovers():
+    """Crashing every pod of one unit's function pulls the whole chain unit
+    out of rotation; recovery puts it back (the fault-injection satellite)."""
+    cluster = Cluster(node_count=2)
+    ingress = ClusterIngress(cluster, policy="least_loaded")
+    units = ingress.deploy_chain_units(chain_spec(), plane_factory)
+    cluster.run(until=0.01)
+    victim = units[0]
+    downed = [
+        pod
+        for deployment in victim.plane.deployments.values()
+        for pod in deployment.servable_pods()
+    ]
+    assert downed and ClusterIngress.unit_servable(victim)
+    for pod in downed:
+        pod.fail()
+    assert not ClusterIngress.unit_servable(victim)
+    picks = {id(ingress.pick_unit()) for _ in range(8)}
+    assert picks == {id(units[1])}
+    for pod in downed:
+        pod.recover()
+    assert ClusterIngress.unit_servable(victim)
+    # Back in rotation: least_loaded at zero in-flight prefers list order.
+    assert id(ingress.pick_unit()) == id(victim)
+
+
+def test_ingress_falls_back_when_every_unit_down():
+    cluster = Cluster(node_count=2)
+    ingress = ClusterIngress(cluster, policy="round_robin")
+    units = ingress.deploy_chain_units(chain_spec(), plane_factory)
+    cluster.run(until=0.01)
+    for unit in units:
+        for deployment in unit.plane.deployments.values():
+            for pod in deployment.servable_pods():
+                pod.fail()
+    assert all(not ClusterIngress.unit_servable(unit) for unit in units)
+    # Degraded but not crashing: picks fall back to the full unit list.
+    assert ingress.pick_unit() in units
+
+
 # -- health probing ----------------------------------------------------------------
 
 def make_probed_deployment(interval=1.0):

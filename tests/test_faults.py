@@ -1,0 +1,367 @@
+"""Tests for the fault-injection + resilience subsystem (repro.faults)."""
+
+import json
+
+import pytest
+
+from repro.dataplane.base import Request, RequestClass
+from repro.faults import (
+    CircuitBreaker,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    NAMED_PLANS,
+    ResiliencePolicy,
+    load_plan,
+)
+from repro.kernel.ebpf import HashMap
+from repro.mem import RteRing
+from repro.runtime import FunctionSpec, Kubelet, WorkerNode
+from repro.simcore import DeliveryError
+
+
+def make_request(timeline: bool = True) -> Request:
+    request = Request(
+        request_class=RequestClass(name="t", sequence=["f"], payload_size=8),
+        payload=b"x" * 8,
+        created_at=0.0,
+    )
+    return request.enable_timeline() if timeline else request
+
+
+# -- plan validation ---------------------------------------------------------------
+
+def test_fault_spec_validation():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(kind=FaultKind.PACKET_DROP, probability=1.5)
+    with pytest.raises(FaultPlanError):
+        FaultSpec(kind=FaultKind.POD_CRASH, at=-1.0)
+    with pytest.raises(FaultPlanError):
+        FaultSpec(kind=FaultKind.POD_SLOW, magnitude=0.5)
+    spec = FaultSpec(kind="packet_drop", probability=0.1, at=1.0, duration=2.0)
+    assert spec.kind is FaultKind.PACKET_DROP
+    assert not spec.window_contains(0.5)
+    assert spec.window_contains(1.0)
+    assert spec.window_contains(2.9)
+    assert not spec.window_contains(3.0)
+
+
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan(
+        name="p",
+        faults=[FaultSpec(kind=FaultKind.POD_CRASH, at=2.0, duration=1.0)],
+    )
+    again = FaultPlan.from_dict(plan.as_dict())
+    assert again.name == "p"
+    assert again.faults[0].kind is FaultKind.POD_CRASH
+    assert again.faults[0].at == 2.0
+
+
+def test_plan_rejects_unknown_fields():
+    with pytest.raises(FaultPlanError, match="unknown"):
+        FaultPlan.from_dict({"faults": [{"kind": "packet_drop", "chaos": 9}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"nope": []})
+
+
+def test_load_plan_names_and_json(tmp_path):
+    assert not load_plan("none")
+    assert not load_plan("")
+    for name in NAMED_PLANS:
+        plan = load_plan(name)
+        assert plan.faults, name
+    path = tmp_path / "plan.json"
+    path.write_text(
+        json.dumps({"name": "file", "faults": [{"kind": "ring_stall", "magnitude": 0.001}]})
+    )
+    plan = load_plan(str(path))
+    assert plan.name == "file"
+    assert plan.faults[0].kind is FaultKind.RING_STALL
+
+
+# -- injector: inert == free -------------------------------------------------------
+
+def test_inert_injector_makes_no_rng_draws():
+    node = WorkerNode()
+    assert not node.faults.active
+    assert node.faults.drop_packet("rx", "eth0") is False
+    assert node.faults.ring_overflow("rx-ring") is False
+    assert node.faults.ring_stall("rx-ring") == 0.0
+    node.faults.arm(None)
+    node.faults.arm(FaultPlan.empty())
+    assert not node.faults.active
+    # The zero-cost contract: no fault stream was ever created or drawn.
+    assert "faults/stochastic" not in node.rng._streams
+    assert not any(
+        name.startswith("faults/") for name in node.counters.as_dict()
+    )
+
+
+def test_stochastic_drop_and_target_matching():
+    node = WorkerNode()
+    node.faults.arm(
+        FaultPlan(
+            name="t",
+            faults=[
+                FaultSpec(kind=FaultKind.PACKET_DROP, probability=1.0, target="veth-*")
+            ],
+        )
+    )
+    assert node.faults.drop_packet("rx", "veth-gw") is True
+    assert node.faults.drop_packet("rx", "eth0") is False
+    assert node.counters.get("faults/injected/packet_drop") == 1
+    assert node.counters.get("faults/injected/packet_drop/rx") == 1
+
+
+def test_scheduled_pod_crash_and_recovery():
+    node = WorkerNode()
+    kubelet = Kubelet(node, cold_start_enabled=False, termination_lag=0.0)
+    deployment = kubelet.deployment(FunctionSpec(name="f", min_scale=1), "t/fn/f")
+    deployment.scale_to(1)
+    node.run(until=0.01)
+    node.faults.register_deployment("f", deployment)
+    node.faults.arm(
+        FaultPlan(
+            name="crash",
+            faults=[FaultSpec(kind=FaultKind.POD_CRASH, at=0.1, duration=0.2, target="f")],
+        )
+    )
+    node.run(until=0.2)
+    assert not deployment.servable_pods()
+    assert node.counters.get("faults/injected/pod_crash") == 1
+    node.run(until=0.5)
+    assert deployment.servable_pods()
+    assert node.counters.get("faults/injected/pod_recover") == 1
+
+
+def test_pod_slow_multiplies_service_time():
+    node = WorkerNode()
+    kubelet = Kubelet(node, cold_start_enabled=False, termination_lag=0.0)
+    deployment = kubelet.deployment(FunctionSpec(name="f", min_scale=1), "t/fn/f")
+    deployment.scale_to(1)
+    node.run(until=0.01)
+    node.faults.register_deployment("f", deployment)
+    node.faults.arm(
+        FaultPlan(
+            name="slow",
+            faults=[FaultSpec(kind=FaultKind.POD_SLOW, at=0.1, duration=0.2, magnitude=10.0)],
+        )
+    )
+    pod = deployment.servable_pods()[0]
+    node.run(until=0.15)
+    assert pod.slowdown == 10.0
+    node.run(until=0.5)
+    assert pod.slowdown == 1.0
+
+
+def test_ring_overflow_hook_and_stall():
+    ring = RteRing("rx", size=8)
+    ring.fault_hook = lambda name: name == "rx"
+    assert ring.enqueue("d") is False
+    assert ring.forced_drops == 1 and ring.drops == 1
+    ring.fault_hook = None
+    assert ring.enqueue("d") is True
+
+    node = WorkerNode()
+    node.faults.arm(
+        FaultPlan(
+            name="stall",
+            faults=[FaultSpec(kind=FaultKind.RING_STALL, at=0.0, magnitude=0.002)],
+        )
+    )
+    assert node.faults.ring_stall("any-ring") == pytest.approx(0.002)
+
+
+def test_map_evict_spares_gateway_key():
+    node = WorkerNode()
+    table = HashMap(max_entries=16, name="sockmap")
+    node.map_registry.create(table)
+    for key in range(4):
+        table.update(key, f"sock-{key}")
+    node.faults.arm(
+        FaultPlan(
+            name="evict",
+            faults=[FaultSpec(kind=FaultKind.MAP_EVICT, at=0.0, magnitude=2, target="sockmap")],
+        )
+    )
+    node.run(until=0.01)
+    assert node.counters.get("faults/injected/map_evict") == 2
+    assert table.lookup(0) == "sock-0"  # the pinned gateway slot survives
+    assert len(table) == 2
+
+
+# -- resilience policy + controller ------------------------------------------------
+
+def test_policy_inert_by_default():
+    policy = ResiliencePolicy()
+    assert not policy.enabled()
+    assert ResiliencePolicy(retries=1).enabled()
+    assert ResiliencePolicy(timeout=0.5).enabled()
+    with pytest.raises(ValueError):
+        ResiliencePolicy(retries=-1)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(timeout=0.0)
+
+
+def test_circuit_breaker_trips_and_half_opens():
+    node = WorkerNode()
+    breaker = CircuitBreaker(node.env, threshold=2, reset_after=1.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.allow()
+    breaker.record_failure()  # trips
+    assert breaker.trips == 1
+    assert not breaker.allow()
+    node.env._now = 2.0  # past the cooldown
+    assert breaker.allow()  # the single half-open probe
+    assert not breaker.allow()  # second caller fenced out
+    breaker.record_success()
+    assert breaker.allow()
+
+
+class FlakyPlane:
+    """Stub dataplane: fails the first N deliveries, then succeeds."""
+
+    def __init__(self, node, fail_times=0, kind="drop", delay=0.001):
+        self.node = node
+        self.resilience = None
+        self.calls = 0
+        self.fail_times = fail_times
+        self.kind = kind
+        self.delay = delay
+
+    def deliver_once(self, request):
+        self.calls += 1
+        call = self.calls
+        yield self.node.env.timeout(self.delay)
+        if call <= self.fail_times:
+            raise DeliveryError(self.kind, "injected failure")
+        request.response = b"ok"
+        request.completed_at = self.node.env.now
+
+
+def run_execute(node, plane, policy, request):
+    from repro.faults import ResilienceController
+
+    controller = ResilienceController(plane, policy)
+    node.env.process(controller.execute(request))
+    node.run(until=10.0)
+    return controller
+
+
+def test_retries_recover_from_transient_faults():
+    node = WorkerNode()
+    plane = FlakyPlane(node, fail_times=2)
+    request = make_request()
+    run_execute(node, plane, ResiliencePolicy(retries=3), request)
+    assert not request.failed
+    assert request.response == b"ok"
+    assert plane.calls == 3
+    assert node.counters.get("faults/resilience/retry") == 2
+    milestones = [name for name, _ in request.timeline]
+    assert "retry:1" in milestones and "retry:2" in milestones
+
+
+def test_retry_budget_exhaustion_fails_request():
+    node = WorkerNode()
+    plane = FlakyPlane(node, fail_times=99)
+    request = make_request()
+    run_execute(node, plane, ResiliencePolicy(retries=2), request)
+    assert request.failed
+    assert request.error is not None and request.error.kind == "drop"
+    assert plane.calls == 3
+    assert node.counters.get("faults/resilience/exhausted") == 1
+
+
+def test_timeout_cancels_slow_attempt():
+    node = WorkerNode()
+    plane = FlakyPlane(node, delay=5.0)
+    request = make_request()
+    run_execute(node, plane, ResiliencePolicy(timeout=0.01), request)
+    assert request.failed
+    assert request.error.kind == "timeout"
+    assert node.counters.get("faults/resilience/timeout") == 1
+
+
+def test_hedge_wins_when_primary_is_slow():
+    node = WorkerNode()
+
+    class SlowThenFast(FlakyPlane):
+        def deliver_once(self, request):
+            self.calls += 1
+            delay = 1.0 if self.calls == 1 else 0.001
+            yield self.node.env.timeout(delay)
+            request.response = b"ok"
+            request.completed_at = self.node.env.now
+
+    plane = SlowThenFast(node)
+    request = make_request()
+    run_execute(node, plane, ResiliencePolicy(hedge_delay=0.01), request)
+    assert not request.failed
+    assert request.response == b"ok"
+    assert request.completed_at < 0.5  # the hedge, not the 1 s primary
+    assert node.counters.get("faults/resilience/hedge") == 1
+    assert node.counters.get("faults/resilience/hedge_win") == 1
+    milestones = [name for name, _ in request.timeline]
+    assert "hedge:launch" in milestones and "hedge:win" in milestones
+
+
+def test_breaker_fails_fast_after_consecutive_failures():
+    node = WorkerNode()
+    plane = FlakyPlane(node, fail_times=99)
+    policy = ResiliencePolicy(retries=0, breaker_threshold=2, breaker_reset=60.0)
+    from repro.faults import ResilienceController
+
+    controller = ResilienceController(plane, policy)
+    requests = [make_request() for _ in range(3)]
+
+    def driver(env):
+        for request in requests:
+            yield env.process(controller.execute(request))
+
+    node.env.process(driver(node.env))
+    node.run(until=10.0)
+    assert controller.breaker_trips() == 1
+    assert plane.calls == 2  # the third request never reached the plane
+    assert requests[2].error.kind == "breaker_open"
+    assert node.counters.get("faults/resilience/breaker_fastfail") == 1
+
+
+# -- end-to-end: empty plan is bit-identical ---------------------------------------
+
+def boutique_latencies(fault_plan=None, resilience=None):
+    from repro.experiments.common import run_closed_loop
+    from repro.workloads import boutique
+
+    result = run_closed_loop(
+        "grpc",
+        boutique.go_grpc_functions(),
+        boutique.request_classes(),
+        concurrency=16,
+        duration=3.0,
+        scale=0.05,
+        fault_plan=fault_plan,
+        resilience=resilience,
+    )
+    return result.recorder.latencies("")
+
+
+def test_empty_plan_and_inert_policy_bit_identical():
+    baseline = boutique_latencies()
+    armed = boutique_latencies(
+        fault_plan=FaultPlan.empty(), resilience=ResiliencePolicy()
+    )
+    assert baseline == armed
+
+
+def test_armed_plan_actually_perturbs_the_run():
+    baseline = boutique_latencies()
+    lossy = boutique_latencies(
+        fault_plan=FaultPlan(
+            name="lossy",
+            faults=[FaultSpec(kind=FaultKind.PACKET_DROP, probability=0.05)],
+        ),
+        resilience=ResiliencePolicy(timeout=0.5, retries=2),
+    )
+    assert baseline != lossy

@@ -3,9 +3,10 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import ResiliencePolicy
 from repro.kernel.ebpf import ArrayMap, HashMap
 from repro.mem import PoolError, RteRing, SharedMemoryPool
-from repro.simcore import CpuSet, Environment, Store
+from repro.simcore import CpuSet, Environment, RandomStreams, Store
 from repro.stats import percentile, summarize
 
 
@@ -237,3 +238,55 @@ def test_cdf_is_monotone_nondecreasing_and_covers_one(samples, points):
     assert latencies[-1] == max(samples)
     assert all(0.0 < fraction <= 1.0 for fraction in fractions)
     assert len(cdf) == len(set(cdf))
+
+
+# -- resilience jitter determinism --------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    attempts=st.integers(min_value=1, max_value=10),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_backoff_and_hedge_jitter_deterministic_per_seed(seed, attempts, jitter):
+    """Same seed -> byte-identical delay sequences across fresh Environments.
+
+    The resilience policy's only nondeterminism is its named RNG streams, so
+    two independent simulations with the same root seed must schedule every
+    retry backoff and hedge trigger at exactly the same instants.
+    """
+    policy = ResiliencePolicy(
+        timeout=1.0, retries=9, hedge_delay=0.01, backoff_jitter=jitter
+    )
+    # Fresh Environment per replica: the streams live on the node/rng, not
+    # the clock, and must not entangle with simulation state.
+    runs = []
+    for _ in range(2):
+        Environment()  # fresh sim world, unused by the policy on purpose
+        rng = RandomStreams(seed)
+        backoffs = [policy.backoff_delay(rng, n) for n in range(1, attempts + 1)]
+        hedges = [policy.hedge_jitter(rng) for _ in range(attempts)]
+        runs.append((backoffs, hedges))
+    assert runs[0] == runs[1]
+
+    backoffs, hedges = runs[0]
+    for n, delay in enumerate(backoffs, start=1):
+        ceiling = min(policy.backoff_base * 2.0 ** (n - 1), policy.backoff_cap)
+        assert ceiling * (1.0 - jitter) - 1e-12 <= delay
+        assert delay <= ceiling * (1.0 + jitter) + 1e-12
+    for delay in hedges:
+        assert policy.hedge_delay * (1.0 - jitter) - 1e-12 <= delay
+        assert delay <= policy.hedge_delay * (1.0 + jitter) + 1e-12
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_distinct_streams_do_not_entangle(seed):
+    """Interleaving hedge draws must not perturb the backoff sequence."""
+    policy = ResiliencePolicy(timeout=1.0, retries=4, hedge_delay=0.02)
+    plain = RandomStreams(seed)
+    interleaved = RandomStreams(seed)
+    expected = [policy.backoff_delay(plain, n) for n in range(1, 5)]
+    got = []
+    for n in range(1, 5):
+        policy.hedge_jitter(interleaved)  # extra draws on the *other* stream
+        got.append(policy.backoff_delay(interleaved, n))
+    assert got == expected
