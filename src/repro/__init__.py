@@ -23,7 +23,7 @@ __paper__ = (
     "Qi, Monis, Zeng, Wang, Ramakrishnan. SIGCOMM 2022."
 )
 
-from . import audit, dataplane, experiments, kernel, mem, protocols, runtime, simcore, stats, workloads
+from . import audit, dataplane, experiments, kernel, mem, obs, protocols, runtime, simcore, stats, workloads
 
 __all__ = [
     "__paper__",
@@ -33,6 +33,7 @@ __all__ = [
     "experiments",
     "kernel",
     "mem",
+    "obs",
     "protocols",
     "runtime",
     "simcore",

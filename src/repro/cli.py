@@ -11,7 +11,13 @@ Examples::
     spright-repro xdp
     spright-repro ablations
     spright-repro faults --fault-plan loss-crash --retries 2 --hedge 0.05
+    spright-repro trace --plane s-spright --workload boutique --out out/
     spright-repro all               # everything, at smoke-test scale
+
+Any command also accepts ``--trace``/``--profile``: the run executes with
+span tracing / CPU profiling on, and with ``--out`` the Perfetto trace
+JSON, OpenMetrics text, and folded flamegraph stacks are written next to
+the report.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .mem import set_default_sanitize
 from .experiments import (
     ablations,
@@ -29,6 +36,7 @@ from .experiments import (
     fig5,
     motion_exp,
     parking_exp,
+    trace_exp,
     xdp_exp,
 )
 from .faults import load_plan
@@ -104,6 +112,22 @@ def _cmd_faults(args) -> str:
     )
 
 
+def _cmd_trace(args) -> str:
+    run = trace_exp.run_traced(
+        plane=args.plane,
+        workload=args.workload,
+        scale=args.scale,
+        duration=args.duration or 10.0,
+    )
+    report = trace_exp.format_trace_report(run)
+    if args.out:
+        from pathlib import Path
+
+        paths = trace_exp.write_trace_artifacts(run, Path(args.out))
+        report += "\n\nArtifacts:\n" + "\n".join(f"  {path}" for path in paths)
+    return report
+
+
 def _cmd_all(args) -> str:
     sections = [
         _cmd_tables(args),
@@ -127,6 +151,7 @@ COMMANDS = {
     "xdp": _cmd_xdp,
     "ablations": _cmd_ablations,
     "faults": _cmd_faults,
+    "trace": _cmd_trace,
     "all": _cmd_all,
 }
 
@@ -177,6 +202,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="faults: per-attempt timeout in seconds",
     )
     parser.add_argument(
+        "--plane",
+        type=str,
+        default="s-spright",
+        choices=("knative", "grpc", "s-spright", "d-spright"),
+        help="trace: which dataplane to run traced",
+    )
+    parser.add_argument(
+        "--workload",
+        type=str,
+        default="boutique",
+        choices=sorted(trace_exp.WORKLOADS),
+        help="trace: which workload to run traced",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable causal span tracing for every node this run creates "
+        "(with --out, writes Chrome/Perfetto trace-event JSON)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the simulated-CPU profiler for every node this run "
+        "creates (with --out, writes folded flamegraph stacks)",
+    )
+    parser.add_argument(
         "--out",
         type=str,
         default=None,
@@ -197,6 +248,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.sanitize:
         set_default_sanitize(True)
+    if args.trace or args.profile:
+        obs.set_default_observe(trace=args.trace, profile=args.profile)
     report = COMMANDS[args.command](args)
     print(report)
     if args.out:
@@ -211,6 +264,15 @@ def main(argv=None) -> int:
             directory / f"{args.command}.json",
             {"command": args.command, "report": report},
         )
+        if (args.trace or args.profile) and args.command != "trace":
+            for index, session in enumerate(obs.active_sessions(), start=1):
+                obs.export.write_artifacts(
+                    directory,
+                    tracer=session.tracer,
+                    registry=session.registry,
+                    profiler=session.profiler,
+                    basename=f"{args.command}-node{index}",
+                )
     return 0
 
 

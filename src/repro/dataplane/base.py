@@ -64,15 +64,32 @@ class Request:
     # Milestone timeline (name, sim time); populated when the request is
     # created with ``record_timeline=True`` via enable_timeline().
     timeline: Optional[list] = None
+    # Causal span tracing (repro.obs): the root span and the tracer that
+    # owns it, attached by Dataplane.submit when tracing is enabled.
+    span: Optional[object] = None
+    tracer: Optional[object] = None
 
     def enable_timeline(self) -> "Request":
         self.timeline = []
         return self
 
     def mark(self, milestone: str, now: float) -> None:
-        """Stamp a milestone (no-op unless the timeline is enabled)."""
+        """Stamp a milestone (no-op unless timeline or tracing is enabled)."""
         if self.timeline is not None:
             self.timeline.append((milestone, now))
+        if self.tracer is not None:
+            self.tracer.on_mark(self, milestone, now)
+
+    def span_begin(self, name: str, category: str = "op", **attrs):
+        """Open an explicit child span (None and free when untraced)."""
+        if self.tracer is not None:
+            return self.tracer.begin(self, name, category, **attrs)
+        return None
+
+    def span_end(self, span, **attrs) -> None:
+        """Close a span from :meth:`span_begin` (no-op on None)."""
+        if span is not None and self.tracer is not None:
+            self.tracer.finish(self, span, **attrs)
 
     @property
     def latency(self) -> float:
@@ -117,7 +134,14 @@ class ProxyComponent:
             )
         else:
             self.cpu = node.cpu
-        self.ops = KernelOps(node.env, self.cpu, node.config.costs, tag, node.faults)
+        self.ops = KernelOps(
+            node.env,
+            self.cpu,
+            node.config.costs,
+            tag,
+            node.faults,
+            obs=getattr(node, "obs", None),
+        )
         self._limiter = Resource(node.env, capacity=concurrency)
         self.traversals = 0
 
@@ -148,11 +172,12 @@ class ProxyComponent:
             raise
         try:
             if self.path_cpu > 0:
-                yield self.cpu.execute(self.path_cpu, self.tag)
+                yield self.cpu.execute(self.path_cpu, self.tag, op="proxy_path")
         finally:
             self._limiter.release(slot)
         if self.overhead_cpu > 0:
-            self.cpu.execute(self.overhead_cpu, self.tag)  # not awaited
+            # Not awaited: off the critical path.
+            self.cpu.execute(self.overhead_cpu, self.tag, op="proxy_overhead")
 
 
 class Dataplane(abc.ABC):
@@ -266,6 +291,16 @@ class Dataplane(abc.ABC):
         (:meth:`use_resilience`), the controller retries/hedges before
         giving up.
         """
+        obs = getattr(self.node, "obs", None)
+        tracer = obs.tracer if obs is not None else None
+        if tracer is not None and request.span is None:
+            tracer.start_request(
+                request,
+                f"{self.plane}:{request.request_class.name}",
+                plane=self.plane,
+                request_class=request.request_class.name,
+                bytes=len(request.payload),
+            )
         if self.resilience is not None:
             yield from self.resilience.execute(request)
         else:
@@ -279,9 +314,24 @@ class Dataplane(abc.ABC):
                 else:
                     self.node.counters.incr(f"faults/failed/{error.kind}")
         request.completed_at = self.node.env.now
+        if tracer is not None and request.span is not None:
+            tracer.finish_request(request, **self._root_span_attrs(request))
         if request.failed:
             return request
         self.requests_completed += 1
         if request.trace is not None:
             request.trace.completed = True
         return request
+
+    def _root_span_attrs(self, request: Request) -> dict:
+        """Closing attributes for the root span: outcome + audit totals."""
+        attrs: dict = {"failed": request.failed}
+        if request.error is not None:
+            attrs["error"] = request.error.kind
+        if request.trace is not None:
+            from ..audit import OverheadKind
+
+            attrs["copies"] = request.trace.total(OverheadKind.COPY)
+            attrs["ctx_switches"] = request.trace.total(OverheadKind.CONTEXT_SWITCH)
+            attrs["interrupts"] = request.trace.total(OverheadKind.INTERRUPT)
+        return attrs

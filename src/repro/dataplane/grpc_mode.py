@@ -63,9 +63,11 @@ class GrpcDataplane(Dataplane):
         # (the 'direct call' mode: no broker, but the kernel path remains).
         head = request.request_class.sequence[0]
         wire = self.encode_call(head, payload)
+        span = request.span_begin("leg:external", "leg", bytes=len(wire))
         yield from external_arrival(
             self.deployment_ops(head), len(wire), trace, Stage.STEP_1
         )
+        request.span_end(span)
 
         event_index = 0
         previous: Optional[str] = None
@@ -75,9 +77,13 @@ class GrpcDataplane(Dataplane):
                 wire = self.encode_call(function_name, payload)
                 stage = chain_step_stage(event_index)
                 event_index += 1
+                span = request.span_begin(
+                    "leg:call", "leg", bytes=len(wire), fn=function_name
+                )
                 yield from leg_kernel(
                     self.deployment_ops(function_name), len(wire), trace, stage
                 )
+                request.span_end(span)
             pod = yield from self.acquire_pod(function_name)
             request.mark(f"deliver:{function_name}", self.node.env.now)
             result = yield from pod.serve(payload)
@@ -87,7 +93,9 @@ class GrpcDataplane(Dataplane):
 
         # Response to the client from the head function's pod.
         response = payload[: request.request_class.response_size] or payload
+        span = request.span_begin("leg:response", "leg", bytes=len(response))
         yield from leg_kernel(self.ops, len(response), trace, None)
+        request.span_end(span)
         request.mark("response", self.node.env.now)
         request.response = response
         return request

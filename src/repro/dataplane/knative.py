@@ -81,14 +81,18 @@ class KnativeDataplane(Dataplane):
 
         request.mark("ingress", self.node.env.now)
         # ①: client -> ingress gateway (through the NIC and kernel stack).
+        span = request.span_begin("leg:external", "leg", bytes=nbytes)
         yield from external_arrival(self.ingress.ops, nbytes, trace, Stage.STEP_1)
         yield from self.ingress.traverse()
+        request.span_end(span)
 
         # ②: ingress -> broker/front-end; the request is queued as an event.
+        span = request.span_begin("leg:kernel", "leg", bytes=nbytes, to="broker")
         yield from leg_kernel(
             self.broker.ops, nbytes, trace, Stage.STEP_2, ops_tx=self.ingress.ops
         )
         yield from self.broker.traverse(admission=True)
+        request.span_end(span)
         request.mark("broker", self.node.env.now)
 
         # Within the chain: each invocation is delivered broker -> pod
@@ -102,11 +106,15 @@ class KnativeDataplane(Dataplane):
             # Delivery: broker -> queue proxy -> user container.
             stage = chain_step_stage(event_index)
             event_index += 1
+            span = request.span_begin(
+                "leg:deliver", "leg", bytes=len(payload), fn=function_name
+            )
             yield from leg_kernel(
                 queue_proxy.ops, len(payload), trace, stage, ops_tx=self.broker.ops
             )
             yield from queue_proxy.traverse()
             yield from leg_localhost(queue_proxy.ops, len(payload), trace, stage)
+            request.span_end(span)
 
             pod = yield from self.acquire_pod(function_name)
             request.mark(f"deliver:{function_name}", self.node.env.now)
@@ -117,6 +125,9 @@ class KnativeDataplane(Dataplane):
             # Response: user container -> queue proxy -> broker.
             stage = chain_step_stage(event_index)
             event_index += 1
+            span = request.span_begin(
+                "leg:return", "leg", bytes=len(payload), fn=function_name
+            )
             yield from leg_localhost(queue_proxy.ops, len(payload), trace, stage)
             yield from queue_proxy.traverse()
             yield from leg_kernel(
@@ -124,11 +135,14 @@ class KnativeDataplane(Dataplane):
             )
             if self.params.mediate_every_hop:
                 yield from self.broker.traverse()
+            request.span_end(span)
 
         # Response to the client (outside the audited pipeline, still costed).
         response = payload[: request.request_class.response_size] or payload
+        span = request.span_begin("leg:response", "leg", bytes=len(response))
         yield from leg_kernel(self.ingress.ops, len(response), trace, None)
         yield from self.ingress.traverse()
+        request.span_end(span)
         request.mark("response", self.node.env.now)
         request.response = response
         return request

@@ -105,19 +105,25 @@ class SidecarPod:
             if self.spec.has_sidecar:
                 # Inbound through the sidecar: one loopback crossing, proxy work.
                 yield from leg_localhost(self.ops, nbytes, trace, Stage.STEP_4)
-                yield self.cpu.execute(self.spec.sidecar_path / 2, self.tag_sidecar)
+                yield self.cpu.execute(
+                    self.spec.sidecar_path / 2, self.tag_sidecar, op="sidecar_path"
+                )
 
             # NGINX serves the request.
-            yield self.cpu.execute(self.spec.nginx_path, self.tag_nginx)
-            self.cpu.execute(self.spec.nginx_bg, self.tag_nginx)
+            yield self.cpu.execute(self.spec.nginx_path, self.tag_nginx, op="nginx_path")
+            self.cpu.execute(self.spec.nginx_bg, self.tag_nginx, op="nginx_bg")
             if self.spec.kernel_bg > 0:
-                self.cpu.execute(self.spec.kernel_bg, self.tag_kernel)
+                self.cpu.execute(self.spec.kernel_bg, self.tag_kernel, op="kernel_bg")
 
             if self.spec.has_sidecar:
                 # Outbound back through the sidecar.
-                yield self.cpu.execute(self.spec.sidecar_path / 2, self.tag_sidecar)
+                yield self.cpu.execute(
+                    self.spec.sidecar_path / 2, self.tag_sidecar, op="sidecar_path"
+                )
                 yield from leg_localhost(self.ops, nbytes, trace, Stage.STEP_4)
-                self.cpu.execute(self.spec.sidecar_bg, self.tag_sidecar)
+                self.cpu.execute(
+                    self.spec.sidecar_bg, self.tag_sidecar, op="sidecar_bg"
+                )
 
             # Response towards the client.
             yield self.ops.serialize(nbytes, trace, None)

@@ -103,7 +103,7 @@ class SpinCharger:
             # spread a multi-core charge across later buckets).
             while spin > 1e-12:
                 chunk = min(width, spin)
-                accounting.record(self.tag, bucket * width, chunk)
+                accounting.record(self.tag, bucket * width, chunk, op="poll_spin")
                 spin -= chunk
             bucket += 1
 
@@ -384,9 +384,18 @@ class SprightChainRuntime:
             data=programs.encode_packet_ctx(message.handle.size, 1),
             scratch=Scratch(map_registry=self.node.map_registry),
         )
+        span = None
+        if message.request is not None:
+            span = message.request.span_begin(
+                "ebpf:eproxy", "ebpf", insns=run.insns_executed
+            )
         yield self.gateway.cpu.execute(
-            self.node.config.costs.ebpf_run(run.insns_executed), self.gateway.tag
+            self.node.config.costs.ebpf_run(run.insns_executed),
+            self.gateway.tag,
+            op="ebpf_run",
         )
+        if message.request is not None:
+            message.request.span_end(span)
         sent = yield from self._send_to_function(
             self.gateway_endpoint,
             self.gateway.ops,
@@ -422,11 +431,21 @@ class SprightChainRuntime:
         message.hop_index += 1
         message.pending_stage = stage
         message.descriptor = descriptor
+        span = None
+        if message.request is not None:
+            span = message.request.span_begin(
+                f"hop:{function_name}",
+                "shm",
+                bytes=descriptor.length,
+                transport=self.transport_kind,
+            )
         sent = yield from self.transport.send(
             endpoint, descriptor, message, ops, message.trace, stage
         )
         if not sent:
             sent = yield from self._repair_and_resend(endpoint, ops, message, pod)
+        if message.request is not None:
+            message.request.span_end(span, delivered=sent)
         if not sent:
             self._fail_message(
                 message,
@@ -473,9 +492,19 @@ class SprightChainRuntime:
         message.hop_index += 1
         message.pending_stage = None
         message.descriptor = descriptor
+        span = None
+        if message.request is not None:
+            span = message.request.span_begin(
+                "hop:response",
+                "shm",
+                bytes=descriptor.length,
+                transport=self.transport_kind,
+            )
         sent = yield from self.transport.send(
             endpoint, descriptor, message, ops, message.trace, None
         )
+        if message.request is not None:
+            message.request.span_end(span, delivered=sent)
         if not sent:
             self._fail_message(
                 message,
@@ -522,9 +551,14 @@ class SprightChainRuntime:
     def _handle_message(self, function_name: str, pod: Pod, endpoint, ops, message):
         """Serve one descriptor: wake, read in place, run, route, forward."""
         # Receiver-side wakeup costs count toward the in-flight hop.
+        span = None
+        if message.request is not None:
+            span = message.request.span_begin("shm:wakeup", "shm", fn=function_name)
         yield from self.transport.receive_costs(
             endpoint, ops, message.trace, message.pending_stage
         )
+        if message.request is not None:
+            message.request.span_end(span)
         if message.cancelled:
             # The requester gave up while the descriptor was in flight; the
             # chain now owns (and drops) the buffer.
@@ -588,9 +622,14 @@ class SprightChainRuntime:
         return self.pool.read(message.handle)
 
     def _finish_response(self, ops, message: SprightMessage):
+        span = None
+        if message.request is not None:
+            span = message.request.span_begin("shm:response", "shm")
         yield from self.transport.receive_costs(
             self.gateway_endpoint, ops, message.trace, None
         )
+        if message.request is not None:
+            message.request.span_end(span)
         if message.cancelled:
             # Nobody is waiting for this response anymore (timeout/hedge
             # loss): the chain drops the buffer instead of the requester.
@@ -624,7 +663,7 @@ class SprightChainRuntime:
                 )
             )
             # The scrape itself is cheap but not free.
-            self.gateway.cpu.execute(5e-6, self.gateway.tag)
+            self.gateway.cpu.execute(5e-6, self.gateway.tag, op="metrics_scrape")
 
     def _l7_metrics_map(self) -> Optional[ArrayMap]:
         if isinstance(self.transport, SproxyTransport):

@@ -105,12 +105,20 @@ class _SprightBase(Dataplane):
 
         request.mark("ingress", self.node.env.now)
         # ①: client -> cluster ingress gateway.
+        span = request.span_begin("leg:external", "leg", bytes=nbytes)
         yield from external_arrival(self.ingress.ops, nbytes, trace, Stage.STEP_1)
         yield from self.ingress.traverse()
+        request.span_end(span)
 
         # ②: ingress -> SPRIGHT gateway. With XDP/TC acceleration the frame
         # is redirected between veths below the protocol stack (§3.5);
         # otherwise it crosses the full kernel path.
+        span = request.span_begin(
+            "leg:xdp" if self.xdp is not None else "leg:kernel",
+            "leg",
+            bytes=nbytes,
+            to="gateway",
+        )
         if self.xdp is not None:
             yield from self.xdp.forward(
                 self.ingress.ops, nbytes, "10.0.1.2", trace, Stage.STEP_2
@@ -124,11 +132,14 @@ class _SprightBase(Dataplane):
                 gateway.ops, nbytes, trace, Stage.STEP_2, ops_tx=self.ingress.ops
             )
         yield from gateway.traverse()
+        request.span_end(span)
 
         # The gateway consolidates protocol processing: payload lands in the
         # chain's private pool exactly once (the copy already audited in ②).
         handle = runtime.pool.alloc(site=f"{self.plane}/gw/{self.chain_name}")
         runtime.pool.write(handle, request.payload)
+        span = request.span_begin("shm:alloc", "shm", bytes=nbytes)
+        request.span_end(span)
         message = SprightMessage(
             handle=handle,
             trace=trace,
@@ -152,11 +163,13 @@ class _SprightBase(Dataplane):
 
             # ⑨: construct the HTTP response to the external client (costed,
             # outside the audited pipeline like the other planes).
+            span = request.span_begin("leg:response", "leg", bytes=len(response))
             response_bundle = gateway.ops.bundle()
             response_bundle.serialize(len(response), trace, None)
             response_bundle.copy(len(response), trace, None)
             response_bundle.protocol_processing(len(response), trace, None)
             yield response_bundle.commit()
+            request.span_end(span)
         except Interrupt:
             # Cancelled by the resilience layer (timeout / hedge raced out).
             # If the chain still holds the message, buffer ownership moves

@@ -11,6 +11,7 @@
 | xdp_exp       | §3.5 claim           |
 | ablations     | design-choice ablations |
 | faults_exp    | resilience table (fault injection) |
+| trace_exp     | traced runs (spans, OpenMetrics, flamegraphs) |
 """
 
 from . import (
@@ -22,6 +23,7 @@ from . import (
     fig5,
     motion_exp,
     parking_exp,
+    trace_exp,
     xdp_exp,
 )
 
@@ -34,5 +36,6 @@ __all__ = [
     "fig5",
     "motion_exp",
     "parking_exp",
+    "trace_exp",
     "xdp_exp",
 ]

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..faults import FaultPlan, ResiliencePolicy, load_plan
-from ..stats import format_table
+from ..stats import format_table, percentile_cells_ms
 from ..workloads import boutique
 from .boutique_exp import SPAWN_RATES, USERS, knative_boutique_params
 from .common import run_closed_loop
@@ -68,13 +68,6 @@ class FaultRunResult:
             "resilience": dict(self.resilience),
             "breaker_trips": self.breaker_trips,
         }
-
-
-def _latency_cells(recorder) -> tuple[float, float, float]:
-    if recorder.count("") == 0:
-        return (float("nan"),) * 3
-    summary = recorder.summary("")
-    return summary.p50 * 1e3, summary.p99 * 1e3, summary.p999 * 1e3
 
 
 def _harvest(node, plane_obj) -> tuple[dict, dict, int]:
@@ -131,7 +124,7 @@ def run_faults_boutique(
     )
     generator = result.extras["generator"]
     injected, resilience, trips = _harvest(result.node, result.plane_obj)
-    p50, p99, p999 = _latency_cells(result.recorder)
+    p50, p99, p999 = percentile_cells_ms(result.recorder)
     return FaultRunResult(
         plane=plane,
         workload="boutique",
@@ -164,7 +157,7 @@ def run_faults_motion(
         resilience=policy,
     )
     injected, resilience, trips = _harvest(run.node, run.plane_obj)
-    p50, p99, p999 = _latency_cells(run.recorder)
+    p50, p99, p999 = percentile_cells_ms(run.recorder)
     return FaultRunResult(
         plane=plane,
         workload="motion",

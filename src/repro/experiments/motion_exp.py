@@ -73,7 +73,7 @@ def run_motion(
         cold_start_enabled=zero_scale,
         termination_lag=30.0 if zero_scale else 0.0,
     )
-    metrics = MetricsServer()
+    metrics = MetricsServer(registry=node.obs.registry)
     plane_obj = build_plane(plane, node, functions, kubelet=kubelet, metrics_server=metrics)
     if fault_plan is not None:
         node.faults.arm(fault_plan)

@@ -69,7 +69,7 @@ def run_parking(
         cold_start_enabled=zero_scale,
         termination_lag=node.config.termination_lag if zero_scale else 0.0,
     )
-    metrics = MetricsServer()
+    metrics = MetricsServer(registry=node.obs.registry)
     plane_obj = build_plane(plane, node, functions, kubelet=kubelet, metrics_server=metrics)
     if zero_scale:
         autoscaler = Autoscaler(node, metrics)

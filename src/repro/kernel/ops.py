@@ -6,6 +6,12 @@ these operations, which atomically (a) increment the request's audit trace,
 latency on the caller (the returned event fires when the operation is done).
 Keeping counting and costing in one place guarantees Tables 1/2 and the
 performance results can never drift apart.
+
+Observability (repro.obs) taps both halves of that atomicity: every charge
+carries an operation name for the CPU profiler, and every audited count is
+mirrored — under exactly the same trace-and-stage condition — into the
+node's ``ops/<plane>/<kind>`` registry counters, which is what lets the
+OpenMetrics export reconcile with the audit tables exactly.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ class KernelOps:
         costs: CostModel,
         tag: str,
         faults=None,
+        obs=None,
     ) -> None:
         self.env = env
         self.cpu = cpu
@@ -38,13 +45,17 @@ class KernelOps:
         # it so Knative/gRPC paths — which move bytes as costed bundles,
         # not frames — see the same loss process as frame-level devices.
         self.faults = faults
+        # Observability bundle (or None). The reference is only consulted
+        # when detail is on, captured once here so the disabled path costs
+        # a single attribute read per count.
+        self.obs = obs if (obs is not None and obs.detailed) else None
 
     # -- internals ---------------------------------------------------------
-    def _charge(self, seconds: float, tag: Optional[str] = None) -> "Event":
-        return self.cpu.execute(seconds, tag or self.tag)
+    def _charge(self, seconds: float, tag: Optional[str] = None, op=None) -> "Event":
+        return self.cpu.execute(seconds, tag or self.tag, op=op)
 
-    @staticmethod
     def _count(
+        self,
         trace: Optional[RequestTrace],
         stage: Optional[Stage],
         kind: OverheadKind,
@@ -52,6 +63,8 @@ class KernelOps:
     ) -> None:
         if trace is not None and stage is not None:
             trace.count(stage, kind, amount)
+            if self.obs is not None:
+                self.obs.count_kernel_op(self.tag, kind, amount)
 
     # -- audited operations ---------------------------------------------------
     def copy(
@@ -63,7 +76,7 @@ class KernelOps:
     ) -> "Event":
         """One data copy of ``nbytes`` (user<->kernel or kernel<->kernel)."""
         self._count(trace, stage, OverheadKind.COPY)
-        return self._charge(self.costs.copy(nbytes), tag)
+        return self._charge(self.costs.copy(nbytes), tag, op="copy")
 
     def context_switch(
         self,
@@ -72,7 +85,7 @@ class KernelOps:
         tag: Optional[str] = None,
     ) -> "Event":
         self._count(trace, stage, OverheadKind.CONTEXT_SWITCH)
-        return self._charge(self.costs.context_switch, tag)
+        return self._charge(self.costs.context_switch, tag, op="context_switch")
 
     def interrupt(
         self,
@@ -82,7 +95,7 @@ class KernelOps:
         tag: Optional[str] = None,
     ) -> "Event":
         self._count(trace, stage, OverheadKind.INTERRUPT, count)
-        return self._charge(self.costs.interrupt * count, tag)
+        return self._charge(self.costs.interrupt * count, tag, op="interrupt")
 
     def protocol_processing(
         self,
@@ -93,7 +106,7 @@ class KernelOps:
     ) -> "Event":
         """One full protocol-stack traversal (TCP/IP + checksum + iptables)."""
         self._count(trace, stage, OverheadKind.PROTOCOL_PROCESSING)
-        return self._charge(self.costs.protocol_processing(nbytes), tag)
+        return self._charge(self.costs.protocol_processing(nbytes), tag, op="protocol")
 
     def serialize(
         self,
@@ -103,7 +116,7 @@ class KernelOps:
         tag: Optional[str] = None,
     ) -> "Event":
         self._count(trace, stage, OverheadKind.SERIALIZATION)
-        return self._charge(self.costs.serialize(nbytes), tag)
+        return self._charge(self.costs.serialize(nbytes), tag, op="serialize")
 
     def deserialize(
         self,
@@ -113,25 +126,25 @@ class KernelOps:
         tag: Optional[str] = None,
     ) -> "Event":
         self._count(trace, stage, OverheadKind.DESERIALIZATION)
-        return self._charge(self.costs.deserialize(nbytes), tag)
+        return self._charge(self.costs.deserialize(nbytes), tag, op="deserialize")
 
     # -- uncounted mechanics (cost only) ---------------------------------------
     def syscall(self, tag: Optional[str] = None) -> "Event":
-        return self._charge(self.costs.syscall, tag)
+        return self._charge(self.costs.syscall, tag, op="syscall")
 
     def veth_hop(self, tag: Optional[str] = None) -> "Event":
-        return self._charge(self.costs.veth_traversal, tag)
+        return self._charge(self.costs.veth_traversal, tag, op="veth")
 
     def nic_dma(self, tag: Optional[str] = None) -> "Event":
-        return self._charge(self.costs.nic_dma, tag)
+        return self._charge(self.costs.nic_dma, tag, op="nic_dma")
 
     def compute(self, seconds: float, tag: Optional[str] = None) -> "Event":
         """Application-level computation (function service time)."""
-        return self._charge(seconds, tag)
+        return self._charge(seconds, tag, op="compute")
 
     def background(self, seconds: float, tag: Optional[str] = None) -> None:
         """CPU charged off the critical path (metrics, GC, bookkeeping)."""
-        self.cpu.execute(seconds, tag or self.tag)
+        self.cpu.execute(seconds, tag or self.tag, op="background")
 
     def bundle(self) -> "OpBundle":
         """Accumulate several audited ops into one CPU charge.
@@ -173,51 +186,64 @@ class KernelOps:
 
 
 class OpBundle:
-    """Accumulates audited operations, committing one combined CPU charge."""
+    """Accumulates audited operations, committing one combined CPU charge.
+
+    When the CPU profiler is on, the bundle also keeps its per-operation
+    breakdown so the coalesced charge still profiles as its constituents;
+    with the profiler off, no breakdown is kept (zero overhead).
+    """
 
     def __init__(self, ops: KernelOps) -> None:
         self.ops = ops
         self.seconds = 0.0
+        profiling = ops.cpu.accounting.profiler is not None
+        self._components: Optional[list[tuple[str, float]]] = [] if profiling else None
+
+    def _add(self, op: str, seconds: float) -> None:
+        self.seconds += seconds
+        if self._components is not None:
+            self._components.append((op, seconds))
 
     # Each method mirrors a KernelOps operation: count now, accumulate cost.
     def copy(self, nbytes: int, trace=None, stage=None) -> "OpBundle":
-        KernelOps._count(trace, stage, OverheadKind.COPY)
-        self.seconds += self.ops.costs.copy(nbytes)
+        self.ops._count(trace, stage, OverheadKind.COPY)
+        self._add("copy", self.ops.costs.copy(nbytes))
         return self
 
     def context_switch(self, trace=None, stage=None, count: int = 1) -> "OpBundle":
-        KernelOps._count(trace, stage, OverheadKind.CONTEXT_SWITCH, count)
-        self.seconds += self.ops.costs.context_switch * count
+        self.ops._count(trace, stage, OverheadKind.CONTEXT_SWITCH, count)
+        self._add("context_switch", self.ops.costs.context_switch * count)
         return self
 
     def interrupt(self, trace=None, stage=None, count: int = 1) -> "OpBundle":
-        KernelOps._count(trace, stage, OverheadKind.INTERRUPT, count)
-        self.seconds += self.ops.costs.interrupt * count
+        self.ops._count(trace, stage, OverheadKind.INTERRUPT, count)
+        self._add("interrupt", self.ops.costs.interrupt * count)
         return self
 
     def protocol_processing(self, nbytes: int, trace=None, stage=None, count: int = 1) -> "OpBundle":
-        KernelOps._count(trace, stage, OverheadKind.PROTOCOL_PROCESSING, count)
-        self.seconds += self.ops.costs.protocol_processing(nbytes) * count
+        self.ops._count(trace, stage, OverheadKind.PROTOCOL_PROCESSING, count)
+        self._add("protocol", self.ops.costs.protocol_processing(nbytes) * count)
         return self
 
     def serialize(self, nbytes: int, trace=None, stage=None) -> "OpBundle":
-        KernelOps._count(trace, stage, OverheadKind.SERIALIZATION)
-        self.seconds += self.ops.costs.serialize(nbytes)
+        self.ops._count(trace, stage, OverheadKind.SERIALIZATION)
+        self._add("serialize", self.ops.costs.serialize(nbytes))
         return self
 
     def deserialize(self, nbytes: int, trace=None, stage=None) -> "OpBundle":
-        KernelOps._count(trace, stage, OverheadKind.DESERIALIZATION)
-        self.seconds += self.ops.costs.deserialize(nbytes)
+        self.ops._count(trace, stage, OverheadKind.DESERIALIZATION)
+        self._add("deserialize", self.ops.costs.deserialize(nbytes))
         return self
 
     def syscall(self) -> "OpBundle":
-        self.seconds += self.ops.costs.syscall
+        self._add("syscall", self.ops.costs.syscall)
         return self
 
     def compute(self, seconds: float) -> "OpBundle":
-        self.seconds += seconds
+        self._add("compute", seconds)
         return self
 
     def commit(self, tag=None):
         """One CPU-charge event covering everything accumulated."""
-        return self.ops._charge(self.seconds, tag)
+        op = self._components if self._components is not None else "bundle"
+        return self.ops._charge(self.seconds, tag, op=op)

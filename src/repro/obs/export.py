@@ -1,0 +1,122 @@
+"""Exporters: Chrome/Perfetto trace_event JSON and artifact writing.
+
+The span tree serializes to the Trace Event Format (the ``traceEvents``
+JSON object Perfetto and ``chrome://tracing`` load directly): each request
+becomes one thread track (``tid`` = request index), every span a complete
+("X") event with microsecond timestamps, and metadata ("M") events name the
+process and each request track. OpenMetrics text comes from
+:meth:`repro.obs.metrics.MetricsRegistry.render_openmetrics`; folded stacks
+from :meth:`repro.obs.profiler.CpuProfiler.folded`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .span import Span, Tracer
+
+PROCESS_NAME = "spright-repro"
+PID = 1
+
+
+def trace_event_payload(tracer: "Tracer", process_name: str = PROCESS_NAME) -> dict:
+    """The tracer's finished spans as a Trace Event Format object."""
+    spans = tracer.finished_spans()
+    by_sid = {span.sid: span for span in spans}
+    root_cache: dict[int, Optional["Span"]] = {}
+
+    def root_of(span: "Span") -> Optional["Span"]:
+        cached = root_cache.get(span.sid)
+        if cached is not None or span.sid in root_cache:
+            return cached
+        node = span
+        while node.parent is not None:
+            parent = by_sid.get(node.parent)
+            if parent is None:
+                root_cache[span.sid] = None  # ancestor unfinished: skip
+                return None
+            node = parent
+        root_cache[span.sid] = node
+        return node
+
+    tids: dict[int, int] = {}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        root = root_of(span)
+        if root is None:
+            continue
+        tid = tids.get(root.sid)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[root.sid] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PID,
+                    "tid": tid,
+                    "args": {"name": f"req-{tid} {root.name}"},
+                }
+            )
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(0.0, span.duration) * 1e6,
+                "pid": PID,
+                "tid": tid,
+                "args": dict(span.attrs),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": process_name,
+            "spanCount": len(spans),
+            "requestCount": len(tids),
+        },
+    }
+
+
+def trace_event_json(tracer: "Tracer", process_name: str = PROCESS_NAME) -> str:
+    return json.dumps(trace_event_payload(tracer, process_name), indent=1)
+
+
+def write_artifacts(
+    directory,
+    tracer: Optional["Tracer"] = None,
+    registry=None,
+    profiler=None,
+    basename: str = "spright",
+) -> list[Path]:
+    """Write trace JSON / OpenMetrics text / folded stacks; return the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    if tracer is not None:
+        path = directory / f"{basename}.trace.json"
+        path.write_text(trace_event_json(tracer) + "\n")
+        written.append(path)
+    if registry is not None:
+        path = directory / f"{basename}.metrics.txt"
+        path.write_text(registry.render_openmetrics())
+        written.append(path)
+    if profiler is not None:
+        path = directory / f"{basename}.folded.txt"
+        path.write_text(profiler.folded())
+        written.append(path)
+    return written

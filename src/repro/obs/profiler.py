@@ -1,0 +1,75 @@
+"""Simulated-CPU profiler: every charged cost attributed to a stack.
+
+Hooks :class:`repro.simcore.cpu.CpuAccounting` — the single funnel all CPU
+charges pass through — and attributes each charge to a stack made of the
+component's CPU tag segments (plane, component, pod) plus the operation
+name supplied by the charging site (``copy``, ``context_switch``,
+``ebpf_run``, ``service``, ...). Bundled charges carry their per-operation
+breakdown so one coalesced CPU event still profiles as its constituents.
+
+The profiler never alters what is recorded in the accounting ledger, so a
+profiled run's CPU%% tables are identical to an unprofiled run's. Output is
+folded-stack text (``plane;component;op <nanoseconds>``), the input format
+of every flamegraph renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+#: A charge's operation attribution: a single op name, or a pre-broken-down
+#: list of (op name, seconds) components from an OpBundle commit.
+OpAttribution = Union[None, str, Sequence[tuple[str, float]]]
+
+UNTYPED = "untyped"
+
+
+class CpuProfiler:
+    """Accumulates seconds per (tag segments..., operation) stack."""
+
+    def __init__(self) -> None:
+        self.samples: dict[tuple[str, ...], float] = {}
+        self.total = 0.0
+
+    def record(self, tag: str, op: OpAttribution, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        self.total += seconds
+        frames = tuple(tag.split("/"))
+        if op is None or isinstance(op, str):
+            self._add(frames, op or UNTYPED, seconds)
+        else:
+            for name, part in op:
+                self._add(frames, name, part)
+
+    def _add(self, frames: tuple[str, ...], op: str, seconds: float) -> None:
+        key = frames + (op,)
+        self.samples[key] = self.samples.get(key, 0.0) + seconds
+
+    # -- views ---------------------------------------------------------------
+    def folded(self) -> str:
+        """Folded-stack flamegraph text, weights in integer nanoseconds."""
+        lines = []
+        for key in sorted(self.samples):
+            nanos = int(round(self.samples[key] * 1e9))
+            if nanos > 0:
+                lines.append(";".join(key) + f" {nanos}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def by_plane(self) -> dict[str, float]:
+        """Seconds per top-level stack frame (the plane tag prefix)."""
+        out: dict[str, float] = {}
+        for key, seconds in self.samples.items():
+            out[key[0]] = out.get(key[0], 0.0) + seconds
+        return dict(sorted(out.items()))
+
+    def by_operation(self) -> dict[str, float]:
+        """Seconds per leaf operation, across all components."""
+        out: dict[str, float] = {}
+        for key, seconds in self.samples.items():
+            out[key[-1]] = out.get(key[-1], 0.0) + seconds
+        return dict(sorted(out.items()))
+
+    def top_stacks(self, count: int = 10) -> list[tuple[str, float]]:
+        ordered = sorted(self.samples.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(";".join(key), seconds) for key, seconds in ordered[:count]]

@@ -2,6 +2,12 @@
 
 Queue proxies (Knative) and the SPRIGHT gateway's metrics agent (reading the
 EPROXY/SPROXY eBPF metric maps) both push :class:`PodMetrics` here.
+
+With a :class:`repro.obs.MetricsRegistry` attached, the autoscaling signals
+live as named gauges (``autoscale/<fn>/request_rate`` etc.) in the unified
+observability registry — one source of truth that also renders through the
+OpenMetrics exporter. Without one (legacy construction), the server keeps
+its private latest-sample dict; both modes answer every query identically.
 """
 
 from __future__ import annotations
@@ -23,23 +29,52 @@ class PodMetrics:
 
 
 class MetricsServer:
-    """Latest-sample store, keyed by function name."""
+    """Latest-sample store, keyed by function name.
 
-    def __init__(self, staleness_limit: float = 30.0) -> None:
+    ``registry``: an optional :class:`repro.obs.MetricsRegistry`; when given,
+    the latest sample per function is stored as ``autoscale/*`` gauges there
+    instead of a private dict (the fallback shim for legacy callers).
+    """
+
+    def __init__(
+        self, staleness_limit: float = 30.0, registry: Optional[object] = None
+    ) -> None:
         self.staleness_limit = staleness_limit
+        self.registry = registry
         self._latest: dict[str, PodMetrics] = {}
+        self._seen: set[str] = set()
         self._history: dict[str, list[PodMetrics]] = defaultdict(list)
         self.reports_received = 0
 
     def report(self, sample: PodMetrics) -> None:
         self.reports_received += 1
-        self._latest[sample.function] = sample
+        if self.registry is not None:
+            prefix = f"autoscale/{sample.function}"
+            self.registry.gauge(f"{prefix}/request_rate").set(sample.request_rate)
+            self.registry.gauge(f"{prefix}/concurrency").set(sample.concurrency)
+            self.registry.gauge(f"{prefix}/response_time").set(sample.response_time)
+            self.registry.gauge(f"{prefix}/timestamp").set(sample.timestamp)
+            self._seen.add(sample.function)
+        else:
+            self._latest[sample.function] = sample
         self._history[sample.function].append(sample)
 
     def latest(self, function: str, now: Optional[float] = None) -> Optional[PodMetrics]:
-        sample = self._latest.get(function)
-        if sample is None:
-            return None
+        if self.registry is not None:
+            if function not in self._seen:
+                return None
+            prefix = f"autoscale/{function}"
+            sample = PodMetrics(
+                function=function,
+                timestamp=self.registry.gauge(f"{prefix}/timestamp").value,
+                request_rate=self.registry.gauge(f"{prefix}/request_rate").value,
+                concurrency=int(self.registry.gauge(f"{prefix}/concurrency").value),
+                response_time=self.registry.gauge(f"{prefix}/response_time").value,
+            )
+        else:
+            sample = self._latest.get(function)
+            if sample is None:
+                return None
         if now is not None and now - sample.timestamp > self.staleness_limit:
             return None
         return sample
@@ -56,4 +91,6 @@ class MetricsServer:
         return list(self._history[function])
 
     def functions(self) -> list[str]:
+        if self.registry is not None:
+            return sorted(self._seen)
         return sorted(self._latest)

@@ -16,8 +16,9 @@ from ..faults import FaultInjector
 from ..kernel import DeviceRegistry, FibTable, KernelOps, NodeConfig, PhysicalNic
 from ..kernel.ebpf import MapRegistry, Vm
 from ..mem import PoolRegistry
+from ..obs import Observability, default_observe
 from ..simcore import CpuSet, Environment, RandomStreams
-from ..stats import Counter, LatencyRecorder
+from ..stats import LatencyRecorder
 
 
 @dataclass
@@ -63,7 +64,16 @@ class WorkerNode:
         self.pools = PoolRegistry()
         self.clock = NodeClock(self.env)
         self.recorder = LatencyRecorder()
-        self.counters = Counter()
+        # Observability bundle (repro.obs): the metrics registry is always
+        # on and backs node.counters; tracing/profiling follow the process
+        # defaults (the CLI's --trace/--profile) unless enabled per node.
+        self.obs = Observability(self.env)
+        trace_default, profile_default = default_observe()
+        if trace_default:
+            self.obs.enable_tracing()
+        if profile_default:
+            self.obs.enable_profiling(self.cpu.accounting)
+        self.counters = self.obs.counters
         self.faults = FaultInjector(self)
         self.devices.faults = self.faults
         # Pod instance ids are node-scoped (not module-global) so a run's
@@ -77,7 +87,9 @@ class WorkerNode:
 
     def ops(self, tag: str) -> KernelOps:
         """Kernel-operation vocabulary charged to ``tag``."""
-        return KernelOps(self.env, self.cpu, self.config.costs, tag, self.faults)
+        return KernelOps(
+            self.env, self.cpu, self.config.costs, tag, self.faults, obs=self.obs
+        )
 
     def run(self, until: float) -> None:
         self.env.run(until=until)

@@ -82,7 +82,9 @@ class Pod:
         if self.startup_delay > 0:
             # Container creation burns CPU while the pod is useless.
             self.node.cpu.execute(
-                self.startup_delay * self.startup_cpu_fraction, self.cpu_tag
+                self.startup_delay * self.startup_cpu_fraction,
+                self.cpu_tag,
+                op="startup",
             )
             yield self.node.env.timeout(self.startup_delay)
         self.phase = PodPhase.RUNNING
@@ -108,7 +110,9 @@ class Pod:
         if self.termination_lag > 0:
             # The 'terminating-but-not-released' waste Fig 12 calls out.
             self.node.cpu.execute(
-                self.termination_lag * self.termination_cpu_fraction, self.cpu_tag
+                self.termination_lag * self.termination_cpu_fraction,
+                self.cpu_tag,
+                op="teardown",
             )
             yield self.node.env.timeout(self.termination_lag)
         self.phase = PodPhase.TERMINATED
@@ -164,7 +168,7 @@ class Pod:
             if self.slowdown != 1.0:
                 service_time *= self.slowdown
             if service_time > 0:
-                yield self.node.cpu.execute(service_time, self.cpu_tag)
+                yield self.node.cpu.execute(service_time, self.cpu_tag, op="service")
             if not self.healthy and not self.responsive:
                 # The pod crashed while this request was in flight; the
                 # work is lost and the caller sees a connection reset.
@@ -172,7 +176,9 @@ class Pod:
                     "crash", f"pod {self.cpu_tag}#{self.instance_id} crashed mid-request"
                 )
             if self.spec.runtime_overhead_bg > 0:
-                self.node.cpu.execute(self.spec.runtime_overhead_bg, self.cpu_tag)
+                self.node.cpu.execute(
+                    self.spec.runtime_overhead_bg, self.cpu_tag, op="service_bg"
+                )
             self.served += 1
             return result
         finally:

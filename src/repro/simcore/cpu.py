@@ -37,13 +37,22 @@ class CpuAccounting:
         self._buckets: dict[str, dict[int, float]] = defaultdict(
             lambda: defaultdict(float)
         )
+        # Optional CPU profiler (repro.obs): observes every charge without
+        # altering what is recorded, so profiled CPU% tables stay identical.
+        self.profiler = None
 
-    def record(self, tag: str, start: float, duration: float) -> None:
-        """Attribute ``duration`` seconds of busy time starting at ``start``."""
+    def record(self, tag: str, start: float, duration: float, op=None) -> None:
+        """Attribute ``duration`` seconds of busy time starting at ``start``.
+
+        ``op`` names the operation (or carries an OpBundle's per-operation
+        breakdown) for the profiler; it never affects the ledger itself.
+        """
         if duration < 0:
             raise ValueError("duration must be non-negative")
         if duration == 0:
             return
+        if self.profiler is not None:
+            self.profiler.record(tag, op, duration)
         self.total_busy[tag] += duration
         width = self.bucket_width
         remaining = duration
@@ -102,12 +111,12 @@ class _Core:
         """Seconds of queued work ahead of a new submission."""
         return max(0.0, self.next_free - self.env.now)
 
-    def submit(self, duration: float, tag: str, done: Event) -> None:
+    def submit(self, duration: float, tag: str, done: Event, op=None) -> None:
         now = self.env.now
         start = now if self.next_free < now else self.next_free
         end = start + duration
         self.next_free = end
-        self.accounting.record(tag, start, duration)
+        self.accounting.record(tag, start, duration, op=op)
         done._ok = True
         done._value = None
         self.env.schedule(done, delay=end - now)
@@ -133,7 +142,9 @@ class DedicatedCore:
             return
         self._released = True
         now = self._cpuset.env.now
-        self._cpuset.accounting.record(self.tag, self.acquired_at, now - self.acquired_at)
+        self._cpuset.accounting.record(
+            self.tag, self.acquired_at, now - self.acquired_at, op="poll_dedicated"
+        )
         self._core.dedicated_tag = None
         self._cpuset._shared.append(self._core)
 
@@ -142,7 +153,9 @@ class DedicatedCore:
         if self._released:
             return
         now = self._cpuset.env.now
-        self._cpuset.accounting.record(self.tag, self.acquired_at, now - self.acquired_at)
+        self._cpuset.accounting.record(
+            self.tag, self.acquired_at, now - self.acquired_at, op="poll_dedicated"
+        )
         self.acquired_at = now
 
 
@@ -178,11 +191,12 @@ class CpuSet:
     def cycles_to_seconds(self, cycles: float) -> float:
         return cycles / self.freq_hz
 
-    def execute(self, duration: float, tag: str) -> Event:
+    def execute(self, duration: float, tag: str, op=None) -> Event:
         """Submit ``duration`` seconds of work; returns its completion event.
 
         Work goes to the least-backlogged shared core, approximating the
-        kernel scheduler spreading runnable threads.
+        kernel scheduler spreading runnable threads. ``op`` is an optional
+        operation attribution for the CPU profiler (ignored when off).
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
@@ -205,11 +219,11 @@ class CpuSet:
             if best is None or free_in < best:
                 best = free_in
                 chosen = core
-        chosen.submit(duration, tag, done)
+        chosen.submit(duration, tag, done, op=op)
         return done
 
-    def execute_cycles(self, cycles: float, tag: str) -> Event:
-        return self.execute(self.cycles_to_seconds(cycles), tag)
+    def execute_cycles(self, cycles: float, tag: str, op=None) -> Event:
+        return self.execute(self.cycles_to_seconds(cycles), tag, op=op)
 
     def dedicate(self, tag: str) -> DedicatedCore:
         """Pin an idle shared core for a poll-mode component."""

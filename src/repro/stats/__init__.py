@@ -7,11 +7,20 @@ from .recorder import (
     SlidingWindowRate,
     confidence_interval_99,
     percentile,
+    percentile_cells_ms,
     summarize,
 )
 from .export import read_json, series_to_rows, write_csv, write_json
 from .tables import format_table, ms, pct
-from .tracing import Segment, overhead_time, segments, service_time, waterfall
+from .tracing import (
+    Segment,
+    overhead_time,
+    segments,
+    service_time,
+    span_waterfall,
+    spans_to_timeline,
+    waterfall,
+)
 
 __all__ = [
     "Counter",
@@ -27,10 +36,13 @@ __all__ = [
     "ms",
     "pct",
     "percentile",
+    "percentile_cells_ms",
     "summarize",
     "Segment",
     "overhead_time",
     "segments",
     "service_time",
+    "span_waterfall",
+    "spans_to_timeline",
     "waterfall",
 ]

@@ -172,6 +172,24 @@ class LatencyRecorder:
         ]
 
 
+def percentile_cells_ms(
+    recorder: "LatencyRecorder",
+    group: str = "",
+    which: tuple[str, ...] = ("p50", "p99", "p999"),
+) -> tuple[float, ...]:
+    """Selected percentiles in milliseconds, NaN-filled when empty.
+
+    The one table-cell helper shared by the experiment report builders
+    (previously each kept its own copy): routes through :func:`summarize`
+    so every report quotes identical percentile math.
+    """
+    if recorder.count(group) == 0:
+        return (float("nan"),) * len(which)
+    summary = recorder.summary(group)
+    values = summary.as_dict()
+    return tuple(values[name] * 1e3 for name in which)
+
+
 class Counter:
     """A named monotonic counter set (drops, retries, scale events, ...)."""
 

@@ -20,15 +20,30 @@ class Segment:
     name: str
     start: float
     duration: float
+    # A milestone stamped *earlier* than the previous one (interleaved
+    # hedge attempts, clock surgery in tests) cannot be a real leg: the
+    # segment is clamped to zero duration and flagged instead of carrying
+    # a negative duration downstream.
+    out_of_order: bool = False
 
 
 def segments(timeline: Sequence[tuple[str, float]], created_at: float) -> list[Segment]:
-    """Milestone list -> ordered segments (each ends at its milestone)."""
+    """Milestone list -> ordered segments (each ends at its milestone).
+
+    Out-of-order stamps are clamped: the segment gets zero duration, its
+    ``out_of_order`` flag is set, and the cursor stays at the latest time
+    seen so later in-order segments keep their true durations.
+    """
     out = []
     previous = created_at
     for name, stamp in timeline:
-        out.append(Segment(name=name, start=previous, duration=stamp - previous))
-        previous = stamp
+        if stamp < previous:
+            out.append(
+                Segment(name=name, start=previous, duration=0.0, out_of_order=True)
+            )
+        else:
+            out.append(Segment(name=name, start=previous, duration=stamp - previous))
+            previous = stamp
     return out
 
 
@@ -69,6 +84,14 @@ def waterfall(
     lines = []
     for segment in parts:
         offset = int((segment.start - created_at) / total * width)
+        if segment.out_of_order:
+            # Not a real leg: render an explicit marker, never a fake bar.
+            bar = " " * offset + "!"
+            lines.append(
+                f"{segment.name:20s} {bar:<{width + 2}s} "
+                f"{segment.duration * 1e6:9.1f} us (out-of-order)"
+            )
+            continue
         length = max(1, int(segment.duration / total * width))
         bar = " " * offset + "#" * length
         lines.append(
@@ -76,3 +99,21 @@ def waterfall(
         )
     lines.append(f"{'total':20s} {'':{width + 2}s} {total * 1e6:9.1f} us")
     return "\n".join(lines)
+
+
+def spans_to_timeline(spans: Sequence) -> list[tuple[str, float]]:
+    """Phase spans (repro.obs) -> the flat (name, stamp) milestone timeline.
+
+    Keeps :func:`waterfall` working on top of span trees: feed it the phase
+    children of one request's root span (any iteration order).
+    """
+    phases = sorted(
+        (span for span in spans if getattr(span, "category", None) == "phase"),
+        key=lambda span: (span.start, span.sid),
+    )
+    return [(span.name, span.end) for span in phases if span.end is not None]
+
+
+def span_waterfall(root, spans: Sequence, width: int = 50) -> str:
+    """ASCII waterfall of one traced request, from its span tree."""
+    return waterfall(spans_to_timeline(spans), root.start, width=width)

@@ -1,0 +1,98 @@
+"""Registry-backed MetricsServer: equivalence with the legacy dict mode."""
+
+from repro.obs import MetricsRegistry
+from repro.runtime import MetricsServer, PodMetrics
+
+SAMPLES = [
+    PodMetrics(function="fn-a", timestamp=2.0, request_rate=10.0, concurrency=4),
+    PodMetrics(function="fn-b", timestamp=4.0, request_rate=3.5, concurrency=1,
+               response_time=0.02),
+    PodMetrics(function="fn-a", timestamp=6.0, request_rate=12.0, concurrency=6),
+]
+
+
+def both_servers():
+    legacy = MetricsServer()
+    registry_backed = MetricsServer(registry=MetricsRegistry())
+    for server in (legacy, registry_backed):
+        for sample in SAMPLES:
+            server.report(sample)
+    return legacy, registry_backed
+
+
+def test_latest_equivalent_in_both_modes():
+    legacy, backed = both_servers()
+    for function in ("fn-a", "fn-b"):
+        assert legacy.latest(function) == backed.latest(function)
+    assert backed.latest("fn-a").request_rate == 12.0
+    assert backed.latest("fn-a").concurrency == 6
+    assert isinstance(backed.latest("fn-a").concurrency, int)
+    assert backed.latest("unknown") is None
+    assert legacy.latest("unknown") is None
+
+
+def test_query_helpers_equivalent():
+    legacy, backed = both_servers()
+    for function in ("fn-a", "fn-b", "unknown"):
+        assert legacy.request_rate(function) == backed.request_rate(function)
+        assert legacy.concurrency(function) == backed.concurrency(function)
+    assert legacy.functions() == backed.functions() == ["fn-a", "fn-b"]
+    assert legacy.reports_received == backed.reports_received == len(SAMPLES)
+
+
+def test_staleness_limit_applies_in_both_modes():
+    legacy, backed = both_servers()
+    late = 6.0 + 31.0  # past the default 30 s staleness limit
+    for server in (legacy, backed):
+        assert server.latest("fn-a", now=late) is None
+        assert server.request_rate("fn-a", now=late) == 0.0
+        assert server.concurrency("fn-a", now=late) == 0
+        assert server.latest("fn-a", now=10.0) is not None
+
+
+def test_history_kept_in_both_modes():
+    legacy, backed = both_servers()
+    assert legacy.history("fn-a") == backed.history("fn-a")
+    assert len(backed.history("fn-a")) == 2
+
+
+def test_registry_mode_exposes_autoscale_gauges():
+    registry = MetricsRegistry()
+    server = MetricsServer(registry=registry)
+    server.report(SAMPLES[0])
+    assert registry.gauge("autoscale/fn-a/request_rate").value == 10.0
+    assert registry.gauge("autoscale/fn-a/concurrency").value == 4
+    text = registry.render_openmetrics()
+    assert "spright_autoscale_fn_a_request_rate 10" in text
+
+
+def test_autoscaler_reads_registry_backed_signals():
+    """Regression: the autoscaler scales up from registry-backed metrics."""
+    from repro.runtime import Autoscaler, AutoscalerPolicy, FunctionSpec, Kubelet
+    from repro.runtime.node import WorkerNode
+
+    node = WorkerNode()
+    metrics = MetricsServer(registry=node.obs.registry)
+    kubelet = Kubelet(node)
+    spec = FunctionSpec(name="fn-a", service_time=1e-3, min_scale=1, max_scale=8)
+    deployment = kubelet.deployment(spec, "test/fn/fn-a")
+    deployment.ensure_scale(1)
+    autoscaler = Autoscaler(node, metrics)
+    autoscaler.register(deployment, AutoscalerPolicy(target_concurrency=2))
+    autoscaler.start()
+
+    def reporter(env):
+        while True:
+            yield env.timeout(1.0)
+            metrics.report(
+                PodMetrics(
+                    function="fn-a",
+                    timestamp=env.now,
+                    request_rate=100.0,
+                    concurrency=10,
+                )
+            )
+
+    node.env.process(reporter(node.env))
+    node.run(until=10.0)
+    assert deployment.scale > 1  # scaled up from the reported concurrency

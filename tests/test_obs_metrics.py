@@ -1,0 +1,126 @@
+"""Tests for the observability metrics registry and OpenMetrics rendering."""
+
+import pytest
+
+from repro.obs import (
+    LegacyCounters,
+    MetricsRegistry,
+    log_bucket_bounds,
+    sanitize_metric_name,
+)
+from repro.stats import Counter as LegacyStatsCounter
+
+
+# -- naming -------------------------------------------------------------------
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("ops/kn/copy") == "spright_ops_kn_copy"
+    assert sanitize_metric_name("faults/failed/crash") == "spright_faults_failed_crash"
+    assert sanitize_metric_name("a b-c", prefix="") == "a_b_c"
+
+
+def test_log_bucket_bounds_deterministic_and_sorted():
+    bounds = log_bucket_bounds()
+    assert bounds == log_bucket_bounds()
+    assert list(bounds) == sorted(bounds)
+    assert bounds[0] == pytest.approx(1e-6)
+    assert len(bounds) == 26
+
+
+# -- counters / gauges --------------------------------------------------------
+
+def test_counter_incr_and_negative_rejected():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests")
+    counter.incr()
+    counter.incr(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.incr(-1)
+
+
+def test_gauge_set_and_add():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("inflight")
+    gauge.set(3.0)
+    gauge.add(-1.0)
+    assert gauge.value == 2.0
+
+
+def test_type_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_same_name_returns_same_metric():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+
+
+# -- histograms ---------------------------------------------------------------
+
+def test_histogram_cumulative_counts():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat", bounds=[1.0, 10.0, 100.0])
+    for value in (0.5, 5.0, 50.0, 500.0):
+        histogram.observe(value)
+    cumulative = histogram.cumulative()
+    assert cumulative[0] == (1.0, 1)
+    assert cumulative[1] == (10.0, 2)
+    assert cumulative[2] == (100.0, 3)
+    assert cumulative[-1] == (float("inf"), 4)
+    assert histogram.count == 4
+    assert histogram.total == pytest.approx(555.5)
+
+
+# -- OpenMetrics rendering ----------------------------------------------------
+
+def test_render_openmetrics_format():
+    registry = MetricsRegistry()
+    registry.counter("ops/kn/copy").incr(7)
+    registry.gauge("autoscale/fn/concurrency").set(3)
+    histogram = registry.histogram("lat", bounds=[0.001, 0.01])
+    histogram.observe(0.005)
+    text = registry.render_openmetrics()
+    assert "# TYPE spright_ops_kn_copy counter" in text
+    assert "spright_ops_kn_copy_total 7" in text
+    assert "# TYPE spright_autoscale_fn_concurrency gauge" in text
+    assert "spright_autoscale_fn_concurrency 3" in text
+    assert 'spright_lat_bucket{le="0.001"} 0' in text
+    assert 'spright_lat_bucket{le="+Inf"} 1' in text
+    assert "spright_lat_count 1" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_render_openmetrics_sorted_and_deterministic():
+    registry = MetricsRegistry()
+    registry.counter("zeta").incr()
+    registry.counter("alpha").incr()
+    text = registry.render_openmetrics()
+    assert text.index("spright_alpha") < text.index("spright_zeta")
+    assert text == registry.render_openmetrics()
+
+
+# -- legacy facade ------------------------------------------------------------
+
+def test_legacy_counters_match_stats_counter():
+    """The registry facade behaves exactly like the old stats.Counter."""
+    old = LegacyStatsCounter()
+    new = LegacyCounters(MetricsRegistry())
+    operations = [
+        ("kn/cold_starts", 1),
+        ("faults/failed/crash", 2),
+        ("kn/cold_starts", 3),
+        ("spright/descriptors_dropped", 1),
+    ]
+    for name, amount in operations:
+        old.incr(name, amount)
+        new.incr(name, amount)
+    assert new.as_dict() == old.as_dict()
+    assert list(new.as_dict()) == list(old.as_dict())  # insertion order too
+    assert new.get("kn/cold_starts") == old.get("kn/cold_starts") == 4
+    # get() never creates (exactly like a dict .get default).
+    assert new.get("never/seen") == 0
+    assert "never/seen" not in new.as_dict()

@@ -101,3 +101,75 @@ def test_waterfall_renders():
 
 def test_waterfall_empty():
     assert "empty" in waterfall([], 0.0)
+
+
+# -- out-of-order milestones (clamp + flag, never a fake bar) -----------------
+
+def test_segments_clamp_out_of_order_stamps():
+    timeline = [("a", 1.0), ("b", 0.5), ("c", 2.0)]
+    parts = segments(timeline, 0.0)
+    assert [s.out_of_order for s in parts] == [False, True, False]
+    assert parts[1].duration == 0.0
+    assert parts[1].start == 1.0  # cursor held at the latest time seen
+    assert parts[2].start == 1.0 and parts[2].duration == pytest.approx(1.0)
+    assert all(s.duration >= 0 for s in parts)
+
+
+def test_waterfall_marks_out_of_order_segments():
+    timeline = [("a", 1.0), ("b", 0.5), ("c", 2.0)]
+    art = waterfall(timeline, 0.0)
+    assert "(out-of-order)" in art
+    assert "!" in art
+    b_line = next(line for line in art.splitlines() if line.startswith("b"))
+    assert "#" not in b_line  # flagged milestones never render as bars
+
+
+def test_waterfall_in_order_rendering_unchanged():
+    """Clamping must not alter how well-formed timelines render."""
+    request = run_traced(SSprightDataplane)
+    art = waterfall(request.timeline, request.created_at)
+    assert "(out-of-order)" not in art
+    assert "!" not in art
+
+
+# -- span-tree interop (repro.obs) --------------------------------------------
+
+def run_span_traced(plane_cls):
+    node = WorkerNode()
+    node.obs.enable_tracing()
+    functions = [
+        FunctionSpec(name="fn-1", service_time=1e-3, service_time_cv=0.0),
+        FunctionSpec(name="fn-2", service_time=2e-3, service_time_cv=0.0),
+    ]
+    plane = plane_cls(node, functions)
+    plane.deploy()
+    request = Request(
+        request_class=RequestClass(name="t", sequence=["fn-1", "fn-2"], payload_size=64),
+        payload=b"x" * 64,
+        created_at=0.0,
+    ).enable_timeline()
+
+    def driver(env):
+        yield env.process(plane.submit(request))
+
+    node.env.process(driver(node.env))
+    node.run(until=5.0)
+    return request, node.obs.tracer
+
+
+def test_spans_to_timeline_matches_flat_timeline():
+    from repro.stats import spans_to_timeline
+
+    request, tracer = run_span_traced(SSprightDataplane)
+    children = tracer.children_index()
+    phase_timeline = spans_to_timeline(children[request.span.sid])
+    assert phase_timeline == request.timeline
+
+
+def test_span_waterfall_matches_timeline_waterfall():
+    from repro.stats import span_waterfall
+
+    request, tracer = run_span_traced(SSprightDataplane)
+    children = tracer.children_index()
+    art = span_waterfall(request.span, children[request.span.sid])
+    assert art == waterfall(request.timeline, request.created_at)
