@@ -11,6 +11,7 @@ Examples::
     spright-repro xdp
     spright-repro ablations
     spright-repro faults --fault-plan loss-crash --retries 2 --hedge 0.05
+    spright-repro recovery --planes s-spright --duration 30
     spright-repro trace --plane s-spright --workload boutique --out out/
     spright-repro all               # everything, at smoke-test scale
 
@@ -36,6 +37,7 @@ from .experiments import (
     fig5,
     motion_exp,
     parking_exp,
+    recovery_exp,
     trace_exp,
     xdp_exp,
 )
@@ -112,6 +114,20 @@ def _cmd_faults(args) -> str:
     )
 
 
+def _cmd_recovery(args) -> str:
+    results = recovery_exp.run_recovery_suite(
+        planes=args.planes or recovery_exp.ALL_PLANES,
+        scale=args.scale,
+        boutique_duration=args.duration or 30.0,
+        motion_duration=(args.duration or 30.0) * 20,
+        include_overload=not args.no_overload,
+    )
+    sections = [recovery_exp.format_availability_table(results)]
+    if not args.no_overload:
+        sections.append(recovery_exp.format_overload_comparison(results))
+    return "\n\n".join(sections)
+
+
 def _cmd_trace(args) -> str:
     run = trace_exp.run_traced(
         plane=args.plane,
@@ -151,6 +167,7 @@ COMMANDS = {
     "xdp": _cmd_xdp,
     "ablations": _cmd_ablations,
     "faults": _cmd_faults,
+    "recovery": _cmd_recovery,
     "trace": _cmd_trace,
     "all": _cmd_all,
 }
@@ -178,8 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan",
         type=str,
         default="loss-crash",
-        help="faults: named plan (loss-crash, lossy, crashy, ring-pressure, "
-        "map-churn), a JSON file path, or 'none' for an empty plan",
+        help="faults: named plan (loss-crash, lossy, crash-storm, crashy, "
+        "ring-pressure, map-churn), a JSON file path, or 'none' for an "
+        "empty plan",
     )
     parser.add_argument(
         "--retries",
@@ -200,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="faults: per-attempt timeout in seconds",
+    )
+    parser.add_argument(
+        "--planes",
+        type=str,
+        nargs="+",
+        default=None,
+        choices=("knative", "grpc", "s-spright", "d-spright"),
+        help="recovery: restrict the suite to these dataplanes",
+    )
+    parser.add_argument(
+        "--no-overload",
+        action="store_true",
+        help="recovery: skip the overload/admission-control comparison",
     )
     parser.add_argument(
         "--plane",

@@ -1,6 +1,13 @@
 """Dataplanes: Knative baseline, gRPC direct mode, S-/D-SPRIGHT, sidecars."""
 
-from .base import Dataplane, ProxyComponent, Request, RequestClass
+from .base import (
+    Dataplane,
+    OverloadError,
+    ProxyComponent,
+    Request,
+    RequestClass,
+    ShedError,
+)
 from .grpc_mode import GrpcDataplane, GrpcParams
 from .knative import KnativeDataplane, KnativeParams, nginx_function
 from .legs import chain_step_stage, external_arrival, leg_kernel, leg_localhost
@@ -27,10 +34,12 @@ __all__ = [
     "KnativeParams",
     "NULL_SIDECAR",
     "OF_WATCHDOG",
+    "OverloadError",
     "ProxyComponent",
     "QUEUE_PROXY",
     "Request",
     "RequestClass",
+    "ShedError",
     "SidecarPod",
     "SidecarSpec",
     "SprightParams",

@@ -32,6 +32,9 @@ class RequestClass:
     response_size: int = 1024
     weight: float = 1.0
     topic: str = ""
+    # Workload-class priority for graceful degradation: under overload the
+    # admission controller sheds lower priorities first (0 = shed first).
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if not self.sequence:
@@ -47,6 +50,20 @@ class OverloadError(DeliveryError):
 
     def __init__(self, message: str = "") -> None:
         super().__init__("overload", message)
+
+
+class ShedError(DeliveryError):
+    """The admission controller refused the request at the front door.
+
+    A :class:`DeliveryError` of kind ``"shed"`` — deliberately *not*
+    retryable: unlike a transient overload deeper in the chain, an admission
+    shed is the node saying it will not take this work now, and retrying
+    immediately is exactly the amplification that collapses goodput. PR 2's
+    retry loop therefore stops on it while breakers still count it.
+    """
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("shed", message, retryable=False)
 
 
 @dataclass
@@ -203,6 +220,7 @@ class Dataplane(abc.ABC):
         self.deployments: dict[str, Deployment] = {}
         self.requests_completed = 0
         self.resilience: Optional["ResilienceController"] = None
+        self.admission = None  # Optional[repro.recovery.AdmissionController]
         self._deployed = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -229,6 +247,22 @@ class Dataplane(abc.ABC):
 
         if policy.enabled():
             self.resilience = ResilienceController(self, policy)
+
+    def use_admission(self, policy) -> None:
+        """Attach gateway admission control (queue bounds + shedding).
+
+        Mirrors :meth:`use_resilience`: an inert policy attaches nothing,
+        so runs without admission control stay byte-identical.
+        """
+        from ..recovery import AdmissionController
+
+        if policy.enabled():
+            self.admission = AdmissionController(
+                self.node.env,
+                policy,
+                counter=self.node.counters,
+                scope=self.plane,
+            )
 
     def _setup_transport(self) -> None:
         """Plane-specific wiring (sockets, rings, hooks); default none."""
@@ -289,39 +323,53 @@ class Dataplane(abc.ABC):
         mark the request failed with a typed ``request.error`` rather than
         crashing the run; with a resilience policy attached
         (:meth:`use_resilience`), the controller retries/hedges before
-        giving up.
+        giving up. With admission control attached (:meth:`use_admission`),
+        overloaded arrivals are shed at the front door with a typed
+        :class:`ShedError` before any work is done on their behalf.
         """
-        obs = getattr(self.node, "obs", None)
-        tracer = obs.tracer if obs is not None else None
-        if tracer is not None and request.span is None:
-            tracer.start_request(
-                request,
-                f"{self.plane}:{request.request_class.name}",
-                plane=self.plane,
-                request_class=request.request_class.name,
-                bytes=len(request.payload),
-            )
-        if self.resilience is not None:
-            yield from self.resilience.execute(request)
-        else:
-            try:
-                yield from self.handle_request(request)
-            except DeliveryError as error:
+        if self.admission is not None:
+            shed = self.admission.try_admit(request)
+            if shed is not None:
                 request.failed = True
-                request.error = error
-                if error.kind == "overload":
-                    self.node.counters.incr(f"{self.plane}/overload_drops")
-                else:
-                    self.node.counters.incr(f"faults/failed/{error.kind}")
-        request.completed_at = self.node.env.now
-        if tracer is not None and request.span is not None:
-            tracer.finish_request(request, **self._root_span_attrs(request))
-        if request.failed:
+                request.error = shed
+                request.completed_at = self.node.env.now
+                self.node.counters.incr(f"{self.plane}/shed")
+                return request
+        try:
+            obs = getattr(self.node, "obs", None)
+            tracer = obs.tracer if obs is not None else None
+            if tracer is not None and request.span is None:
+                tracer.start_request(
+                    request,
+                    f"{self.plane}:{request.request_class.name}",
+                    plane=self.plane,
+                    request_class=request.request_class.name,
+                    bytes=len(request.payload),
+                )
+            if self.resilience is not None:
+                yield from self.resilience.execute(request)
+            else:
+                try:
+                    yield from self.handle_request(request)
+                except DeliveryError as error:
+                    request.failed = True
+                    request.error = error
+                    if error.kind == "overload":
+                        self.node.counters.incr(f"{self.plane}/overload_drops")
+                    else:
+                        self.node.counters.incr(f"faults/failed/{error.kind}")
+            request.completed_at = self.node.env.now
+            if tracer is not None and request.span is not None:
+                tracer.finish_request(request, **self._root_span_attrs(request))
+            if request.failed:
+                return request
+            self.requests_completed += 1
+            if request.trace is not None:
+                request.trace.completed = True
             return request
-        self.requests_completed += 1
-        if request.trace is not None:
-            request.trace.completed = True
-        return request
+        finally:
+            if self.admission is not None:
+                self.admission.on_done(request)
 
     def _root_span_attrs(self, request: Request) -> dict:
         """Closing attributes for the root span: outcome + audit totals."""

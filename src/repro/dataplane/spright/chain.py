@@ -23,6 +23,7 @@ from ...mem import (
     PoolSanitizer,
     RteRing,
     SharedMemoryManager,
+    ShmScavenger,
     default_sanitize,
 )
 from ...runtime import Deployment, MetricsServer, PodMetrics, RESPONSE
@@ -292,6 +293,10 @@ class SprightChainRuntime:
         if sanitize:
             self.sanitizer = PoolSanitizer(counter=node.counters)
             self.pool.attach_sanitizer(self.sanitizer)
+        # Recovery: per-pod buffer ownership so a crashed pod's in-flight
+        # buffers can be reclaimed (generation bump -> stale descriptors
+        # fault cleanly) instead of leaking from the chain's pool.
+        self.scavenger = ShmScavenger(self.pool, counter=node.counters)
 
         self.security = (
             SecurityDomain(node.map_registry, chain_name) if security_enabled else None
@@ -327,7 +332,7 @@ class SprightChainRuntime:
         self.routing = DfrRoutingTable(node, chain_name)
         self._endpoints: dict[int, object] = {}
         self._function_of_instance: dict[int, str] = {}
-        self._spinners: list[SpinCharger] = []
+        self._spinners: dict[int, SpinCharger] = {}
         self._gateway_spinner: Optional[SpinCharger] = None
         if transport_kind == "ring":
             self._gateway_spinner = SpinCharger(
@@ -364,7 +369,9 @@ class SprightChainRuntime:
                     self.security.allow(other_id, pod.instance_id)
                     self.security.allow(pod.instance_id, other_id)
         if self.transport_kind == "ring":
-            self._spinners.append(SpinCharger(self.node, pod.cpu_tag, cores=1.0))
+            self._spinners[pod.instance_id] = SpinCharger(
+                self.node, pod.cpu_tag, cores=1.0
+            )
         self.node.env.process(
             self._function_worker(function_name, pod, endpoint),
             name=f"worker-{pod.cpu_tag}#{pod.instance_id}",
@@ -375,6 +382,12 @@ class SprightChainRuntime:
         self.transport.on_pod_deregistered(pod.instance_id)
         self._endpoints.pop(pod.instance_id, None)
         self._function_of_instance.pop(pod.instance_id, None)
+        # D-SPRIGHT: the dead pod's poll core stops spinning once the pod is
+        # actually torn down; without this, a supervisor-terminated pod kept
+        # charging a full core to its CPU tag forever.
+        spinner = self._spinners.pop(pod.instance_id, None)
+        if spinner is not None:
+            spinner.stop()
 
     # -- gateway ingress path (called by the dataplane) ---------------------------
     def dispatch(self, message: SprightMessage, head_function: str, deployment):
@@ -406,6 +419,10 @@ class SprightChainRuntime:
         return sent
 
     def _send_to_function(self, endpoint, ops, message, function_name, deployment):
+        if message.freed:
+            # The buffer was reclaimed (crashed owner) while this hop was
+            # being prepared; the descriptor must not re-enter the chain.
+            return False
         pod = self.routing.pick_instance(function_name)
         if pod is None and deployment is not None:
             deployment.waiting += 1
@@ -454,6 +471,10 @@ class SprightChainRuntime:
                     f"descriptor to {function_name} undeliverable",
                 ),
             )
+        else:
+            # The buffer is now parked in the target pod's inbox/ring: that
+            # pod owns it until it forwards or the buffer is freed.
+            self.scavenger.assign(pod.instance_id, message.handle, message)
         return sent
 
     def _repair_and_resend(self, endpoint, ops, message, pod):
@@ -483,6 +504,8 @@ class SprightChainRuntime:
         return sent
 
     def _send_to_gateway(self, endpoint, ops, message):
+        if message.freed:
+            return False
         descriptor = PacketDescriptor(
             next_fn=GATEWAY_INSTANCE_ID,
             shm_offset=message.handle.offset,
@@ -510,13 +533,62 @@ class SprightChainRuntime:
                 message,
                 DeliveryError("descriptor_drop", "response descriptor undeliverable"),
             )
+        else:
+            # Ownership moves to the gateway (never a reclaim target); the
+            # requester frees the buffer after reading the response.
+            self.scavenger.assign(GATEWAY_INSTANCE_ID, message.handle, message)
         return sent
+
+    # -- crash recovery (called by the pod supervisor) ----------------------------
+    def reclaim_orphans(self, pod: Pod) -> int:
+        """Reclaim every shared-memory buffer a crashed pod still owned.
+
+        Each orphan's slot generation is bumped (stale descriptors now fault
+        cleanly instead of aliasing a recycled buffer) and its waiting
+        requester is woken with a typed crash error — otherwise the closed
+        loop would hang forever on ``done`` events nobody will succeed.
+        Returns the number of buffers reclaimed.
+        """
+        reclaimed = self.scavenger.reclaim(
+            pod.instance_id, site=f"{self.chain_name}/crash#{pod.instance_id}"
+        )
+        for _handle, token in reclaimed:
+            if not isinstance(token, SprightMessage):
+                continue
+            token.freed = True
+            if token.failed_error is None:
+                token.failed_error = DeliveryError(
+                    "crash",
+                    f"buffer reclaimed from crashed pod "
+                    f"{pod.cpu_tag}#{pod.instance_id}",
+                )
+            if not token.done.triggered:
+                token.done.succeed(None)
+        return len(reclaimed)
+
+    def verify_registration(self, pod: Pod) -> bool:
+        """Post-restart check: is the replacement pod wired into the plane?
+
+        The ready callbacks normally do all of this; the supervisor calls it
+        after each restart as a belt-and-braces repair — if the sockmap entry
+        is missing (e.g. a map eviction raced the restart) it is re-inserted
+        through the same path as :meth:`_repair_and_resend`.
+        """
+        endpoint = self._endpoints.get(pod.instance_id)
+        if endpoint is None:
+            return False
+        if isinstance(self.transport, SproxyTransport):
+            if pod.instance_id not in self.transport.sockmap:
+                self.transport.on_pod_registered(pod.instance_id, endpoint)
+                self.node.counters.incr("spright/sockmap_repairs")
+        return self.routing.instance(pod.instance_id) is pod
 
     # -- failure/cancellation lifecycle ------------------------------------------
     def release_message(self, message: SprightMessage) -> None:
         """Free the message's pool buffer exactly once (requester or chain)."""
         if not message.freed:
             message.freed = True
+            self.scavenger.release(message.handle)
             self.pool.free(message.handle)
 
     def _fail_message(self, message: SprightMessage, error: DeliveryError) -> None:
@@ -559,9 +631,10 @@ class SprightChainRuntime:
         )
         if message.request is not None:
             message.request.span_end(span)
-        if message.cancelled:
-            # The requester gave up while the descriptor was in flight; the
-            # chain now owns (and drops) the buffer.
+        if message.cancelled or message.freed:
+            # The requester gave up while the descriptor was in flight (the
+            # chain now owns, and drops, the buffer) — or the scavenger
+            # already reclaimed it from a crashed owner.
             self.release_message(message)
             return
         # Zero-copy: the function reads the payload in place, resolving the
@@ -580,7 +653,10 @@ class SprightChainRuntime:
             return
         if message.request is not None:
             message.request.mark(f"served:{function_name}", self.node.env.now)
-        if message.cancelled:
+        if message.cancelled or message.freed:
+            # freed: the scavenger reclaimed the buffer while this pod was
+            # serving (its owner crashed); writing back would be a
+            # use-after-free against a bumped generation.
             self.release_message(message)
             return
         # In-place update of the buffer with the function's output.
@@ -630,9 +706,10 @@ class SprightChainRuntime:
         )
         if message.request is not None:
             message.request.span_end(span)
-        if message.cancelled:
+        if message.cancelled or message.freed:
             # Nobody is waiting for this response anymore (timeout/hedge
-            # loss): the chain drops the buffer instead of the requester.
+            # loss, or a crash-reclaimed buffer): the chain drops the buffer
+            # instead of the requester.
             self.release_message(message)
             return
         message.response = self._resolve_payload(message)
@@ -671,7 +748,7 @@ class SprightChainRuntime:
         return self.l3_metrics
 
     def teardown(self) -> None:
-        for spinner in self._spinners:
+        for spinner in self._spinners.values():
             spinner.stop()
         if self._gateway_spinner is not None:
             self._gateway_spinner.stop()

@@ -70,8 +70,18 @@ class DfrRoutingTable:
         return destination
 
     def pick_instance(self, function: str) -> Optional[Pod]:
-        """Step 2 (LB): max residual service capacity among servable pods."""
+        """Step 2 (LB): max residual service capacity among servable pods.
+
+        Pods that stopped answering probes (hung, about to be marked down)
+        are deprioritized: when any responsive instance exists, only
+        responsive instances are candidates — otherwise a hung-but-healthy
+        pod keeps winning on stale residual capacity and every retry/hedge
+        lands back on it. Fault-free the filter is an exact no-op.
+        """
         pods = [pod for pod in self._instances.get(function, []) if pod.is_servable]
+        responsive = [pod for pod in pods if pod.responsive]
+        if responsive:
+            pods = responsive
         if not pods:
             return None
         now = self.node.env.now

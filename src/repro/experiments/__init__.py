@@ -11,6 +11,7 @@
 | xdp_exp       | §3.5 claim           |
 | ablations     | design-choice ablations |
 | faults_exp    | resilience table (fault injection) |
+| recovery_exp  | availability table (crash storms, overload admission) |
 | trace_exp     | traced runs (spans, OpenMetrics, flamegraphs) |
 """
 
@@ -23,6 +24,7 @@ from . import (
     fig5,
     motion_exp,
     parking_exp,
+    recovery_exp,
     trace_exp,
     xdp_exp,
 )
@@ -36,6 +38,7 @@ __all__ = [
     "fig5",
     "motion_exp",
     "parking_exp",
+    "recovery_exp",
     "trace_exp",
     "xdp_exp",
 ]

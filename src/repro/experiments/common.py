@@ -29,6 +29,7 @@ from ..dataplane import (
     SSprightDataplane,
 )
 from ..kernel import NodeConfig
+from ..recovery import AdmissionPolicy, PodSupervisor, SupervisorPolicy
 from ..runtime import FunctionSpec, Kubelet, MetricsServer, WorkerNode
 from ..stats import LatencyRecorder
 from ..workloads import ClosedLoopGenerator, WeightedMix
@@ -110,6 +111,25 @@ def build_plane(
     return plane
 
 
+def attach_recovery(
+    node: WorkerNode, plane, policy: SupervisorPolicy
+) -> PodSupervisor:
+    """Wire a pod supervisor over every deployment of a built plane.
+
+    SPRIGHT planes additionally get shared-memory orphan scavenging and the
+    post-restart transport-registration check via their chain runtime; the
+    other planes just get detect/restart/backoff.
+    """
+    supervisor = PodSupervisor(node, policy=policy)
+    chain_runtime = getattr(plane, "runtime", None)
+    reclaimer = getattr(chain_runtime, "reclaim_orphans", None)
+    verifier = getattr(chain_runtime, "verify_registration", None)
+    for name, deployment in plane.deployments.items():
+        supervisor.watch(name, deployment, reclaimer=reclaimer, verifier=verifier)
+    supervisor.start()
+    return supervisor
+
+
 def run_closed_loop(
     plane_name: str,
     functions: list[FunctionSpec],
@@ -128,13 +148,19 @@ def run_closed_loop(
     sanitize: Optional[bool] = None,
     fault_plan: Optional[FaultPlan] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    admission: Optional[AdmissionPolicy] = None,
+    recovery: Optional[SupervisorPolicy] = None,
 ) -> ScenarioResult:
     """One closed-loop scenario on a fresh node.
 
     ``sanitize`` forces memory-safety checked mode on (True) or off (False)
     for SPRIGHT planes; None defers to the params / process-wide default.
     ``fault_plan`` arms the node's fault injector; ``resilience`` attaches a
-    gateway-side retry/hedge/breaker policy. Both default to inert, keeping
+    gateway-side retry/hedge/breaker policy; ``admission`` bounds the front
+    door (queue limits / token bucket / CoDel shedding); ``recovery``
+    attaches a :class:`~repro.recovery.PodSupervisor` watching every
+    deployment (with SPRIGHT chain scavenging and post-restart registration
+    checks where the plane supports them). All default to inert, keeping
     fault-free runs bit-identical.
     """
     node = make_node(scale=scale, seed=seed)
@@ -153,6 +179,11 @@ def run_closed_loop(
         node.faults.arm(fault_plan)
     if resilience is not None:
         plane.use_resilience(resilience)
+    if admission is not None:
+        plane.use_admission(admission)
+    supervisor: Optional[PodSupervisor] = None
+    if recovery is not None:
+        supervisor = attach_recovery(node, plane, recovery)
     recorder = LatencyRecorder()
     auditor = Auditor(name=plane_name) if audit else None
     generator = ClosedLoopGenerator(
@@ -177,7 +208,7 @@ def run_closed_loop(
         node=node,
         plane_obj=plane,
         auditor=auditor,
-        extras={"generator": generator},
+        extras={"generator": generator, "supervisor": supervisor},
     )
 
 

@@ -20,7 +20,7 @@ from ..workloads.motion import (
     motion_functions,
     synthesize_motion_trace,
 )
-from .common import build_plane, make_node
+from .common import attach_recovery, build_plane, make_node
 
 
 @dataclass
@@ -32,6 +32,7 @@ class MotionRun:
     plane_obj: object
     cold_starts: int
     generator: object = None  # the OpenLoopGenerator (submitted/failed counts)
+    supervisor: object = None  # the PodSupervisor, when recovery is attached
 
     def latency_ms(self, which: str = "mean") -> float:
         summary = self.recorder.summary("")
@@ -58,11 +59,16 @@ def run_motion(
     trace_params: Optional[MotionTraceParams] = None,
     fault_plan=None,
     resilience=None,
+    admission=None,
+    recovery=None,
+    sanitize=None,
 ) -> MotionRun:
     """One plane over the same synthetic MERL-like trace.
 
     ``fault_plan``/``resilience`` (see :mod:`repro.faults`) rerun the trace
-    under injected failures with gateway-side retries; both default inert.
+    under injected failures with gateway-side retries; ``admission``/
+    ``recovery`` (see :mod:`repro.recovery`) bound the front door and attach
+    the pod supervisor. All default inert.
     """
     params = trace_params or MotionTraceParams(duration=duration)
     node = make_node(seed=seed)
@@ -74,11 +80,28 @@ def run_motion(
         termination_lag=30.0 if zero_scale else 0.0,
     )
     metrics = MetricsServer(registry=node.obs.registry)
-    plane_obj = build_plane(plane, node, functions, kubelet=kubelet, metrics_server=metrics)
+    spright_params = None
+    if sanitize is not None:
+        from ..dataplane import SprightParams
+
+        spright_params = SprightParams(sanitize=sanitize)
+    plane_obj = build_plane(
+        plane,
+        node,
+        functions,
+        kubelet=kubelet,
+        metrics_server=metrics,
+        spright_params=spright_params,
+    )
     if fault_plan is not None:
         node.faults.arm(fault_plan)
     if resilience is not None:
         plane_obj.use_resilience(resilience)
+    if admission is not None:
+        plane_obj.use_admission(admission)
+    supervisor = None
+    if recovery is not None:
+        supervisor = attach_recovery(node, plane_obj, recovery)
     if zero_scale:
         autoscaler = Autoscaler(node, metrics)
         for deployment in plane_obj.deployments.values():
@@ -100,6 +123,7 @@ def run_motion(
         plane_obj=plane_obj,
         cold_starts=node.counters.get(f"{plane_obj.plane}/cold_starts"),
         generator=generator,
+        supervisor=supervisor,
     )
 
 

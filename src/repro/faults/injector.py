@@ -191,11 +191,23 @@ class FaultInjector:
         self._packet_corrupt: list[FaultSpec] = []
         self._ring_overflow: list[FaultSpec] = []
         self._ring_stall: list[FaultSpec] = []
+        self._crash_listeners: list = []
 
     # -- wiring ----------------------------------------------------------------
     def register_deployment(self, function: str, deployment: "Deployment") -> None:
         """Dataplanes register deployments so pod faults can find targets."""
         self._deployments.setdefault(function, []).append(deployment)
+
+    def add_crash_listener(self, callback) -> None:
+        """Call ``callback(pod)`` right after an injected pod crash.
+
+        The pod supervisor subscribes here so crash *detection* is prompt
+        (the periodic sweep alone would add up to one check interval of
+        latency). Listeners fire only for injected crashes; hangs are left
+        to probes/sweeps, exactly as in a real cluster where a kill is
+        visible to the kubelet immediately but a livelock is not.
+        """
+        self._crash_listeners.append(callback)
 
     def arm(self, plan: Optional[FaultPlan]) -> None:
         """Activate a plan; an empty/None plan leaves the injector inert."""
@@ -284,6 +296,8 @@ class FaultInjector:
         if spec.kind is FaultKind.POD_CRASH:
             self.node.counters.incr("faults/injected/pod_crash")
             pod.fail()
+            for listener in self._crash_listeners:
+                listener(pod)
             if spec.duration is not None:
                 yield self.node.env.timeout(spec.duration)
                 pod.recover()

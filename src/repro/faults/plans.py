@@ -55,6 +55,26 @@ def _ring_pressure() -> FaultPlan:
     )
 
 
+def _crash_storm() -> FaultPlan:
+    """Permanent crashes in quick succession: the supervisor must restart.
+
+    Every fault has ``duration=None`` — the pod never recovers on its own,
+    so without the recovery subsystem the deployment bleeds capacity until
+    nothing serves. With a :class:`~repro.recovery.PodSupervisor` attached,
+    each crash is detected, orphaned shared-memory buffers are reclaimed,
+    and a replacement pod is restarted behind backoff.
+    """
+    return FaultPlan(
+        name="crash-storm",
+        faults=[
+            FaultSpec(kind=FaultKind.POD_CRASH, at=2.0, duration=None),
+            FaultSpec(kind=FaultKind.POD_CRASH, at=5.0, duration=None),
+            FaultSpec(kind=FaultKind.POD_CRASH, at=8.0, duration=None),
+            FaultSpec(kind=FaultKind.POD_CRASH, at=11.0, duration=None),
+        ],
+    )
+
+
 def _map_churn() -> FaultPlan:
     """eBPF map evictions: sockmap entries vanish, SPROXY must re-register."""
     return FaultPlan(
@@ -69,6 +89,7 @@ def _map_churn() -> FaultPlan:
 NAMED_PLANS = {
     "loss-crash": _loss_crash,
     "lossy": _lossy,
+    "crash-storm": _crash_storm,
     "crashy": _crashy,
     "ring-pressure": _ring_pressure,
     "map-churn": _map_churn,

@@ -17,6 +17,7 @@ from .pool import (
     SharedMemoryPool,
 )
 from .rings import PollingConsumer, RING_F_SC_DEQ, RING_F_SP_ENQ, RingError, RteRing
+from .scavenger import ShmScavenger
 from .sanitizer import (
     PoolSanitizer,
     SanitizerError,
@@ -47,6 +48,7 @@ __all__ = [
     "SanitizerError",
     "SharedMemoryManager",
     "SharedMemoryPool",
+    "ShmScavenger",
     "Violation",
     "ViolationKind",
     "default_sanitize",

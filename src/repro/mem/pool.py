@@ -59,6 +59,7 @@ class PoolStats:
 
     allocs: int = 0
     frees: int = 0
+    reclaims: int = 0
     writes: int = 0
     reads: int = 0
     bytes_written: int = 0
@@ -179,6 +180,30 @@ class SharedMemoryPool:
         self.stats.frees += 1
         if self.sanitizer is not None:
             self.sanitizer.on_free(self, handle)
+
+    def reclaim(self, handle: BufferHandle, site: str = "") -> bool:
+        """Force-free an orphaned buffer on behalf of a dead owner.
+
+        The scavenger path: unlike :meth:`free`, reclaiming does not require
+        the caller to *be* the owner — the owner crashed.  The slot's
+        generation is bumped immediately so any descriptor or handle the dead
+        pod already emitted for this buffer faults as a use-after-free at the
+        identity check instead of aliasing the slot's next occupant.  Returns
+        False when the buffer is already gone (e.g. the in-flight failure
+        path released it first), so reclamation is idempotent.
+        """
+        current = self._in_use.get(handle.offset)
+        if current is not handle:
+            return False
+        del self._in_use[handle.offset]
+        handle.in_use = False
+        slot = handle.offset // self.buffer_size
+        self._slot_generation[slot] += 1
+        self._free_offsets.append(handle.offset)
+        self.stats.reclaims += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_reclaim(self, handle, site)
+        return True
 
     # -- data access ------------------------------------------------------------
     def write(self, handle: BufferHandle, data: bytes) -> None:

@@ -108,6 +108,7 @@ class PoolSanitizer:
         self.strict = strict
         self.violations: list[Violation] = []
         self._live: dict[tuple[str, int], AllocationRecord] = {}
+        self._reclaimed: list[AllocationRecord] = []
         self._alloc_sequence = 0
 
     # -- pool hooks -----------------------------------------------------------
@@ -123,6 +124,29 @@ class PoolSanitizer:
 
     def on_free(self, pool: "SharedMemoryPool", handle: "BufferHandle") -> None:
         self._live.pop((pool.name, handle.offset), None)
+
+    def on_reclaim(
+        self, pool: "SharedMemoryPool", handle: "BufferHandle", site: str
+    ) -> None:
+        """An orphaned buffer was force-freed by the scavenger.
+
+        Not a violation — reclamation is the *remedy* for the leak a crashed
+        owner would otherwise cause — but it is counted separately
+        (``sanitizer/orphan_reclaims``) so experiments can cross-check the
+        scavenger's own ``recovery/orphans_reclaimed`` accounting against
+        what the sanitizer observed leaving the live set.
+        """
+        record = self._live.pop((pool.name, handle.offset), None)
+        self._reclaimed.append(
+            AllocationRecord(
+                pool_name=pool.name,
+                offset=handle.offset,
+                generation=handle.generation,
+                site=site or (record.site if record is not None else "<untracked>"),
+                alloc_index=record.alloc_index if record is not None else 0,
+            )
+        )
+        self.counter.incr("sanitizer/orphan_reclaims")
 
     def record(
         self, kind: ViolationKind, pool_name: str, detail: str, site: str = ""
@@ -164,6 +188,11 @@ class PoolSanitizer:
     @property
     def live_count(self) -> int:
         return len(self._live)
+
+    @property
+    def orphan_reclaims(self) -> int:
+        """How many orphaned buffers the scavenger pulled back."""
+        return len(self._reclaimed)
 
     @property
     def total_violations(self) -> int:

@@ -1,0 +1,31 @@
+"""Self-healing control plane: crash recovery, orphan reclamation, admission.
+
+Three cooperating pieces (each inert unless explicitly attached, keeping
+runs without them byte-identical):
+
+* :class:`PodSupervisor` — detects crashed/hung pods, restarts them with
+  capped-exponential backoff and a modeled cold-start cost, and drives
+  shared-memory orphan reclamation + transport re-registration;
+* :class:`AdmissionController` — gateway front door: bounded per-function
+  queues, token-bucket rate limiting, and CoDel-style queue-delay shedding
+  with priority-ordered graceful degradation;
+* the :class:`~repro.mem.ShmScavenger` ledger (in ``repro.mem``) that the
+  supervisor's reclaim step drains.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .supervisor import (
+    BACKOFF_STREAM,
+    PodSupervisor,
+    RESTART_COST_STREAM,
+    SupervisorPolicy,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BACKOFF_STREAM",
+    "PodSupervisor",
+    "RESTART_COST_STREAM",
+    "SupervisorPolicy",
+]

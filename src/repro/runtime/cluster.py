@@ -79,6 +79,23 @@ class ClusterIngress:
         self.units: list[ChainUnit] = []
         self._round_robin = 0
         self.in_flight: dict[int, int] = {}
+        self.admission = None  # Optional[repro.recovery.AdmissionController]
+
+    def use_admission(self, policy) -> None:
+        """Attach cluster-wide admission control in front of unit routing.
+
+        Same contract as :meth:`repro.dataplane.Dataplane.use_admission`: an
+        inert policy attaches nothing, and shed requests never reach a unit.
+        """
+        from ..recovery import AdmissionController
+
+        if policy.enabled():
+            self.admission = AdmissionController(
+                self.cluster.env,
+                policy,
+                counter=self.cluster.nodes[0].counters,
+                scope="cluster",
+            )
 
     def deploy_chain_units(
         self,
@@ -137,17 +154,29 @@ class ClusterIngress:
 
     def submit(self, request, source_node: Optional[WorkerNode] = None):
         """Generator: route one request to a unit and run it there."""
-        unit = self.pick_unit()
         env = self.cluster.env
-        if source_node is not None and source_node is not unit.node:
-            yield env.timeout(CROSS_NODE_LATENCY)
-        self.in_flight[id(unit)] += 1
+        if self.admission is not None:
+            shed = self.admission.try_admit(request)
+            if shed is not None:
+                request.failed = True
+                request.error = shed
+                request.completed_at = env.now
+                self.cluster.nodes[0].counters.incr("cluster/shed")
+                return request
         try:
-            yield env.process(unit.plane.submit(request))
+            unit = self.pick_unit()
+            if source_node is not None and source_node is not unit.node:
+                yield env.timeout(CROSS_NODE_LATENCY)
+            self.in_flight[id(unit)] += 1
+            try:
+                yield env.process(unit.plane.submit(request))
+            finally:
+                self.in_flight[id(unit)] -= 1
+                unit.served += 1
+            return request
         finally:
-            self.in_flight[id(unit)] -= 1
-            unit.served += 1
-        return request
+            if self.admission is not None:
+                self.admission.on_done(request)
 
 
 def fragmentation_report(cluster: Cluster) -> dict:

@@ -63,6 +63,14 @@ class HealthProber:
         self._started = True
         self.node.env.process(self._loop(), name="health-prober")
 
+    def is_down(self, pod: Pod) -> bool:
+        """Has this pod tripped the failure threshold and not recovered?
+
+        The supervisor and hedge/LB pickers consult this instead of poking
+        the prober's internals.
+        """
+        return pod.instance_id in self._down
+
     def probe(self, pod: Pod) -> bool:
         """One probe: does the pod's socket answer?
 

@@ -62,8 +62,23 @@ class Deployment:
         return sum(pod.in_flight for pod in self.pods) + self.waiting
 
     # -- pod selection ---------------------------------------------------------
-    def pick_round_robin(self) -> Optional[Pod]:
+    def _routable_pods(self) -> list[Pod]:
+        """Servable pods, preferring ones that still answer health probes.
+
+        A hung pod (``responsive=False``) stays nominally healthy until a
+        prober's failure threshold trips, so it used to remain a routing —
+        and hedge — target; hedging against the very pod that is stalling
+        the primary defeats the hedge. When any responsive pod exists, only
+        responsive pods are candidates; with none, fall back to all servable
+        pods rather than refusing outright. Fault-free, every pod is
+        responsive and the filter is an exact no-op (byte-identity).
+        """
         servable = self.servable_pods()
+        responsive = [pod for pod in servable if pod.responsive]
+        return responsive if responsive else servable
+
+    def pick_round_robin(self) -> Optional[Pod]:
+        servable = self._routable_pods()
         if not servable:
             return None
         self._round_robin = (self._round_robin + 1) % len(servable)
@@ -71,7 +86,7 @@ class Deployment:
 
     def pick_residual_capacity(self) -> Optional[Pod]:
         """§3.2.3: choose the pod with maximum residual service capacity."""
-        servable = self.servable_pods()
+        servable = self._routable_pods()
         if not servable:
             return None
         now = self.node.env.now
@@ -119,12 +134,26 @@ class Deployment:
         if self.scale < minimum:
             self.scale_to(minimum)
 
-    def _add_pod(self) -> Pod:
-        pod = self.kubelet.create_pod(self.spec, self.cpu_tag)
+    def _add_pod(self, startup_delay: Optional[float] = None) -> Pod:
+        pod = self.kubelet.create_pod(
+            self.spec, self.cpu_tag, startup_delay=startup_delay
+        )
         self.pods.append(pod)
         pod.ready.callbacks.append(self._notify_ready)
         pod.terminated.callbacks.append(self._notify_terminated)
         return pod
+
+    def restart_pod(self, startup_delay: Optional[float] = None) -> Pod:
+        """Supervisor path: replace a dead pod with a fresh instance.
+
+        The replacement gets a new instance id and re-runs the full ready
+        wiring (sockets/rings, sockmap entry, DFR route) through the same
+        callbacks as any other pod; ``startup_delay`` lets the caller charge
+        an explicit restart cost instead of the kubelet's cold-start sample.
+        Restarts are not scale events — the deployment's desired size is
+        unchanged.
+        """
+        return self._add_pod(startup_delay=startup_delay)
 
 
 class Kubelet:
@@ -155,15 +184,27 @@ class Kubelet:
         self.deployments[cpu_tag] = deployment
         return deployment
 
-    def create_pod(self, spec: FunctionSpec, cpu_tag: str) -> Pod:
-        """Create and start one pod; startup delay sampled when enabled."""
-        startup_delay = 0.0
-        if self.cold_start_enabled:
-            startup_delay = self.node.rng.lognormal_service(
-                f"startup/{spec.name}",
-                self.node.config.pod_startup_mean,
-                self.node.config.pod_startup_cv,
-            )
+    def create_pod(
+        self,
+        spec: FunctionSpec,
+        cpu_tag: str,
+        startup_delay: Optional[float] = None,
+    ) -> Pod:
+        """Create and start one pod; startup delay sampled when enabled.
+
+        An explicit ``startup_delay`` (the supervisor's modeled restart
+        cost) bypasses the sampling entirely, so restart timing comes from
+        the caller's own RNG stream and fault-free draw sequences are
+        untouched.
+        """
+        if startup_delay is None:
+            startup_delay = 0.0
+            if self.cold_start_enabled:
+                startup_delay = self.node.rng.lognormal_service(
+                    f"startup/{spec.name}",
+                    self.node.config.pod_startup_mean,
+                    self.node.config.pod_startup_cv,
+                )
         pod = Pod(
             self.node,
             spec,

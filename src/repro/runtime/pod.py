@@ -143,6 +143,14 @@ class Pod:
         Waits for a concurrency slot, charges the sampled service time to the
         pod's CPU tag, and runs the user behavior on the payload.
         """
+        if self.phase is PodPhase.TERMINATED:
+            # A dead instance behaves like a connection reset, not a
+            # programming error: the supervisor may have torn the pod down
+            # while this request's descriptor was still in flight.
+            raise DeliveryError(
+                "crash",
+                f"pod {self.cpu_tag}#{self.instance_id} is terminated",
+            )
         if self.phase not in (PodPhase.RUNNING, PodPhase.TERMINATING):
             raise RuntimeError(
                 f"pod {self.cpu_tag}#{self.instance_id} is {self.phase.value}, not servable"
@@ -155,6 +163,17 @@ class Pod:
             # withdraw the claim so pod concurrency capacity is not leaked.
             self._slots.release(request)
             raise
+        if not self.healthy and not self.responsive:
+            # Fail fast: the pod crashed while this request sat in the
+            # concurrency queue. Without this check the dead pod kept its
+            # slot *and* burned the full service time below before raising,
+            # so a crash left the pod consuming its CPU reservation and
+            # restart accounting double-counted the lost work.
+            self._slots.release(request)
+            raise DeliveryError(
+                "crash",
+                f"pod {self.cpu_tag}#{self.instance_id} crashed before serving",
+            )
         self.in_flight += 1
         self.rate_window.observe(self.node.env.now)
         try:

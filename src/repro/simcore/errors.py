@@ -26,6 +26,8 @@ class DeliveryError(Exception):
     ``kind`` is an open vocabulary; the values used by the repo are:
 
     * ``"overload"``      — a proxy queue limit shed the request (503);
+    * ``"shed"``          — the admission controller refused the request at
+      the front door (never retryable: retrying amplifies the overload);
     * ``"timeout"``       — the per-attempt deadline expired;
     * ``"drop"``          — a packet/frame was lost in the kernel path;
     * ``"corrupt"``       — a frame failed its checksum and was discarded;

@@ -9,6 +9,7 @@ from .recorder import (
     percentile,
     percentile_cells_ms,
     summarize,
+    window_percentile_cells_ms,
 )
 from .export import read_json, series_to_rows, write_csv, write_json
 from .tables import format_table, ms, pct
@@ -38,6 +39,7 @@ __all__ = [
     "percentile",
     "percentile_cells_ms",
     "summarize",
+    "window_percentile_cells_ms",
     "Segment",
     "overhead_time",
     "segments",

@@ -118,6 +118,16 @@ class LatencyRecorder:
     def summary(self, group: str = "") -> LatencySummary:
         return summarize(self.latencies(group))
 
+    def window_latencies(
+        self, start: float, end: float = math.inf, group: str = ""
+    ) -> list[float]:
+        """Latencies of requests that *completed* within ``[start, end)``."""
+        return [
+            latency
+            for completion_time, latency in self._samples[group]
+            if start <= completion_time < end
+        ]
+
     def overall_summary(self) -> LatencySummary:
         return summarize(self.all_latencies())
 
@@ -187,6 +197,26 @@ def percentile_cells_ms(
         return (float("nan"),) * len(which)
     summary = recorder.summary(group)
     values = summary.as_dict()
+    return tuple(values[name] * 1e3 for name in which)
+
+
+def window_percentile_cells_ms(
+    recorder: "LatencyRecorder",
+    start: float,
+    end: float = math.inf,
+    group: str = "",
+    which: tuple[str, ...] = ("p99", "p999"),
+) -> tuple[float, ...]:
+    """Percentiles (ms) over a completion-time window, NaN-filled when empty.
+
+    The recovery report's "p99 during vs after recovery" cells: same
+    percentile math as :func:`percentile_cells_ms`, restricted to requests
+    that completed inside ``[start, end)``.
+    """
+    samples = recorder.window_latencies(start, end, group)
+    if not samples:
+        return (float("nan"),) * len(which)
+    values = summarize(samples).as_dict()
     return tuple(values[name] * 1e3 for name in which)
 
 
