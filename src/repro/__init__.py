@@ -23,7 +23,20 @@ __paper__ = (
     "Qi, Monis, Zeng, Wang, Ramakrishnan. SIGCOMM 2022."
 )
 
-from . import audit, dataplane, experiments, kernel, mem, obs, protocols, runtime, simcore, stats, workloads
+from . import (
+    audit,
+    dataplane,
+    experiments,
+    kernel,
+    mem,
+    obs,
+    protocols,
+    runtime,
+    simcore,
+    stats,
+    traffic,
+    workloads,
+)
 
 __all__ = [
     "__paper__",
@@ -38,5 +51,6 @@ __all__ = [
     "runtime",
     "simcore",
     "stats",
+    "traffic",
     "workloads",
 ]

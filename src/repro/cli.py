@@ -13,6 +13,8 @@ Examples::
     spright-repro faults --fault-plan loss-crash --retries 2 --hedge 0.05
     spright-repro recovery --planes s-spright --duration 30
     spright-repro trace --plane s-spright --workload boutique --out out/
+    spright-repro traffic --functions 12 --processes 2
+    spright-repro traffic --policies kpa pinned --patterns bursty
     spright-repro all               # everything, at smoke-test scale
 
 Any command also accepts ``--trace``/``--profile``: the run executes with
@@ -39,6 +41,7 @@ from .experiments import (
     parking_exp,
     recovery_exp,
     trace_exp,
+    traffic_exp,
     xdp_exp,
 )
 from .faults import load_plan
@@ -144,6 +147,18 @@ def _cmd_trace(args) -> str:
     return report
 
 
+def _cmd_traffic(args) -> str:
+    lab = traffic_exp.run_traffic_lab(
+        planes=args.planes or traffic_exp.ALL_PLANES,
+        policies=args.policies or traffic_exp.ALL_POLICIES,
+        patterns=args.patterns or traffic_exp.ALL_PATTERNS,
+        functions=args.functions,
+        duration=args.duration or 14400.0,
+        processes=args.processes,
+    )
+    return traffic_exp.format_report(lab)
+
+
 def _cmd_all(args) -> str:
     sections = [
         _cmd_tables(args),
@@ -169,6 +184,7 @@ COMMANDS = {
     "faults": _cmd_faults,
     "recovery": _cmd_recovery,
     "trace": _cmd_trace,
+    "traffic": _cmd_traffic,
     "all": _cmd_all,
 }
 
@@ -245,6 +261,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="boutique",
         choices=sorted(trace_exp.WORKLOADS),
         help="trace: which workload to run traced",
+    )
+    parser.add_argument(
+        "--functions",
+        type=int,
+        default=12,
+        help="traffic: number of functions in the synthetic fleet",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="traffic: worker processes for the fleet runner (output is "
+        "byte-identical to the serial run)",
+    )
+    parser.add_argument(
+        "--policies",
+        type=str,
+        nargs="+",
+        default=None,
+        choices=("fixed", "kpa", "histogram", "pinned"),
+        help="traffic: restrict the sweep to these keep-alive policies",
+    )
+    parser.add_argument(
+        "--patterns",
+        type=str,
+        nargs="+",
+        default=None,
+        choices=("flat", "diurnal", "bursty"),
+        help="traffic: restrict the sweep to these fleet arrival patterns",
     )
     parser.add_argument(
         "--trace",

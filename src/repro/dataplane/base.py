@@ -286,6 +286,7 @@ class Dataplane(abc.ABC):
             while pod is None:
                 if not deployment.live_pods():
                     deployment.scale_to(1)
+                    deployment.note_cold_start()
                     self.node.counters.incr(f"{self.plane}/cold_starts")
                 yield deployment.any_servable_event()
                 pod = self.select_pod(deployment)

@@ -430,6 +430,7 @@ class SprightChainRuntime:
                 while pod is None:
                     if not deployment.live_pods():
                         deployment.scale_to(1)
+                        deployment.note_cold_start()
                         self.node.counters.incr(f"{self.plane}/cold_starts")
                     yield deployment.any_servable_event()
                     pod = self.routing.pick_instance(function_name)

@@ -13,6 +13,7 @@
 | faults_exp    | resilience table (fault injection) |
 | recovery_exp  | availability table (crash storms, overload admission) |
 | trace_exp     | traced runs (spans, OpenMetrics, flamegraphs) |
+| traffic_exp   | fleet-scale keep-alive economics (§4.2.2 at scale) |
 """
 
 from . import (
@@ -26,6 +27,7 @@ from . import (
     parking_exp,
     recovery_exp,
     trace_exp,
+    traffic_exp,
     xdp_exp,
 )
 
@@ -40,5 +42,6 @@ __all__ = [
     "parking_exp",
     "recovery_exp",
     "trace_exp",
+    "traffic_exp",
     "xdp_exp",
 ]

@@ -31,6 +31,11 @@ class Deployment:
         self._ready_waiters: list[Event] = []
         self.scale_up_events = 0
         self.scale_down_events = 0
+        # Requests that arrived with no live pod and had to wait for a
+        # scale-from-zero (the Fig 11 path). Mirrored as the
+        # ``autoscale/<fn>/cold_starts`` counter so the traffic subsystem's
+        # economics accounting reconciles exactly with the control plane.
+        self.cold_starts = 0
         # Dataplanes subscribe to wire transports onto new pods (sockets,
         # rings, sockmap entries) and to tear them down on termination.
         self.pod_ready_callbacks: list = []
@@ -114,6 +119,13 @@ class Deployment:
         pod = pod_event.value
         for callback in self.pod_terminated_callbacks:
             callback(pod)
+
+    def note_cold_start(self) -> None:
+        """Count one scale-from-zero activation against this function."""
+        self.cold_starts += 1
+        self.node.obs.registry.counter(
+            f"autoscale/{self.spec.name}/cold_starts"
+        ).incr()
 
     # -- scaling ---------------------------------------------------------------------
     def scale_to(self, desired: int) -> None:

@@ -33,7 +33,7 @@ from .resources import (
     StorePut,
 )
 from .cpu import CpuAccounting, CpuSet, DedicatedCore
-from .rng import RandomStreams
+from .rng import RandomStreams, derive_stream_seed
 
 __all__ = [
     "AllOf",
@@ -62,4 +62,5 @@ __all__ = [
     "StorePut",
     "Timeout",
     "URGENT",
+    "derive_stream_seed",
 ]

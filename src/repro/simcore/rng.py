@@ -12,9 +12,19 @@ import random
 from typing import Iterator
 
 
-def _derive_seed(root_seed: int, name: str) -> int:
+def derive_stream_seed(root_seed: int, name: str) -> int:
+    """Stable 64-bit seed for the stream ``name`` under ``root_seed``.
+
+    Public so components that must be *restartable* and *process-portable*
+    (the traffic subsystem's arrival sources, the multiprocessing fleet
+    runner) can derive the same child seed on any worker without sharing a
+    live ``random.Random`` instance.
+    """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+_derive_seed = derive_stream_seed
 
 
 class RandomStreams:

@@ -1,0 +1,92 @@
+"""repro.traffic — fleet-scale trace-driven traffic + keep-alive policy lab.
+
+Three layers:
+
+* :mod:`~repro.traffic.arrivals` — streaming, restartable arrival processes
+  (Poisson, MMPP/bursty, diurnal, Azure-style synthetic fleet with Zipf
+  popularity and heavy-tailed inter-arrivals) on named derived RNG streams;
+* :mod:`~repro.traffic.keepalive` — keep-alive / pre-warm policies (fixed
+  window, KPA baseline, hybrid histogram, pinned min-scale) pluggable into
+  both the fleet simulator and the DES autoscaler;
+* :mod:`~repro.traffic.economics` + :mod:`~repro.traffic.fleet` — cold-start
+  economics accounting and the multiprocessing (plane x policy) cell
+  runner behind ``spright-repro traffic``.
+"""
+
+from .arrivals import (
+    Arrival,
+    ArrivalSource,
+    DiurnalSource,
+    FleetParams,
+    HeavyTailSource,
+    MmppSource,
+    ModulatedSource,
+    PoissonSource,
+    SyntheticFleet,
+    as_trace_events,
+    merge_sources,
+    trace_digest,
+    zipf_weights,
+)
+from .economics import (
+    DesTrafficAccountant,
+    EconomicsLedger,
+    FunctionEconomics,
+    SloPolicy,
+)
+from .fleet import (
+    PLANE_PROFILES,
+    CellResult,
+    CellSpec,
+    PlaneProfile,
+    build_specs,
+    publish_results,
+    run_cells,
+    simulate_cell,
+)
+from .keepalive import (
+    POLICIES,
+    FixedWindowKeepAlive,
+    HistogramKeepAlive,
+    KeepAlivePolicy,
+    KpaKeepAlive,
+    PinnedKeepAlive,
+    WarmPlan,
+    make_policy,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalSource",
+    "CellResult",
+    "CellSpec",
+    "DesTrafficAccountant",
+    "DiurnalSource",
+    "EconomicsLedger",
+    "FixedWindowKeepAlive",
+    "FleetParams",
+    "FunctionEconomics",
+    "HeavyTailSource",
+    "HistogramKeepAlive",
+    "KeepAlivePolicy",
+    "KpaKeepAlive",
+    "MmppSource",
+    "ModulatedSource",
+    "PLANE_PROFILES",
+    "POLICIES",
+    "PinnedKeepAlive",
+    "PlaneProfile",
+    "PoissonSource",
+    "SloPolicy",
+    "SyntheticFleet",
+    "WarmPlan",
+    "as_trace_events",
+    "build_specs",
+    "make_policy",
+    "merge_sources",
+    "publish_results",
+    "run_cells",
+    "simulate_cell",
+    "trace_digest",
+    "zipf_weights",
+]

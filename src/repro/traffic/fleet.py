@@ -1,0 +1,323 @@
+"""Fleet runner: (plane x policy) cells over synthetic fleet traffic.
+
+Running the full packet-level DES for a simulated *day* of fleet traffic is
+wall-clock-prohibitive, and unnecessary: cold-start economics depend on
+arrival times, warm windows, and a handful of per-plane constants — not on
+per-packet descriptor hops. Each *cell* here is therefore a lightweight,
+exact event-walk over one (plane, keep-alive policy) pair: per function,
+iterate its arrival stream, track the warm window the policy commits,
+charge cold-start penalties and idle warm CPU, and fold everything into an
+:class:`~repro.traffic.economics.EconomicsLedger`.
+
+Cells are fully independent and deterministic from derived seeds, so
+:func:`run_cells` shards them across worker processes with
+``multiprocessing`` and the merged output is byte-identical to serial
+execution (a test asserts exactly that).
+
+Per-plane constants (:class:`PlaneProfile`) tie back to the repo's DES cost
+model: cold-start latency is the kubelet's lognormal
+(``NodeConfig.pod_startup_mean/cv``), per-request overhead comes from the
+§3.2.2 spot measurements the DES reproduces, and idle warm-pod CPU encodes
+the paper's central claim — sidecar pods burn CPU while idle, S-SPRIGHT's
+event-driven pods do not, D-SPRIGHT's dedicated spin cores always do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..kernel import NodeConfig
+from ..simcore import derive_stream_seed
+from ..stats import summarize
+from .arrivals import FleetParams, SyntheticFleet
+from .economics import EconomicsLedger, SloPolicy
+from .keepalive import POLICIES, KeepAlivePolicy, make_policy
+
+_DEFAULTS = NodeConfig()
+
+
+@dataclass(frozen=True)
+class PlaneProfile:
+    """The constants of one dataplane that cold-start economics see."""
+
+    name: str
+    cold_start_mean: float          # seconds; kubelet pod-startup lognormal
+    cold_start_cv: float
+    per_request_overhead: float     # seconds; §3.2.2 response-delay band
+    idle_pod_cpu_frac: float        # cores burned by one warm-but-idle pod
+
+
+#: Calibrated against the DES: cold starts are the kubelet's startup
+#: lognormal; per-request overheads sit in the §3.2.2 bands (S-SPRIGHT
+#: 0.02-0.04 ms, D-SPRIGHT slightly lower, Knative ~6x higher, gRPC in
+#: between); idle CPU encodes Fig 2 / §4.2.2 (queue-proxy sidecars burn CPU
+#: while idle, S-SPRIGHT's event-driven pods burn none, D-SPRIGHT pins a
+#: dedicated polling core per warm pod).
+PLANE_PROFILES = {
+    "knative": PlaneProfile(
+        name="knative",
+        cold_start_mean=_DEFAULTS.pod_startup_mean,
+        cold_start_cv=_DEFAULTS.pod_startup_cv,
+        per_request_overhead=1.8e-4,
+        idle_pod_cpu_frac=0.05,
+    ),
+    "grpc": PlaneProfile(
+        name="grpc",
+        cold_start_mean=_DEFAULTS.pod_startup_mean,
+        cold_start_cv=_DEFAULTS.pod_startup_cv,
+        per_request_overhead=6.0e-5,
+        idle_pod_cpu_frac=0.01,
+    ),
+    "s-spright": PlaneProfile(
+        name="s-spright",
+        cold_start_mean=_DEFAULTS.pod_startup_mean,
+        cold_start_cv=_DEFAULTS.pod_startup_cv,
+        per_request_overhead=3.0e-5,
+        idle_pod_cpu_frac=0.0,
+    ),
+    "d-spright": PlaneProfile(
+        name="d-spright",
+        cold_start_mean=_DEFAULTS.pod_startup_mean,
+        cold_start_cv=_DEFAULTS.pod_startup_cv,
+        per_request_overhead=2.0e-5,
+        idle_pod_cpu_frac=1.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (plane x policy) cell of the lab — picklable, fully determines
+    the cell's output given nothing but itself."""
+
+    plane: str
+    policy: str
+    fleet: FleetParams
+    slo: SloPolicy = field(default_factory=SloPolicy)
+    service_time_mean: float = 0.010
+    service_time_cv: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.plane not in PLANE_PROFILES:
+            raise ValueError(
+                f"unknown plane {self.plane!r}; choose from {sorted(PLANE_PROFILES)}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown keep-alive policy {self.policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            )
+        if self.service_time_mean <= 0:
+            raise ValueError("service_time_mean must be positive")
+
+    def stream(self, suffix: str) -> str:
+        return f"cell/{self.plane}/{self.policy}/{self.fleet.pattern}/{suffix}"
+
+
+@dataclass
+class CellResult:
+    """Everything one cell produced."""
+
+    plane: str
+    policy: str
+    pattern: str
+    duration: float
+    functions: int
+    ledger: EconomicsLedger
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    decision_digest: str
+
+    @property
+    def requests(self) -> int:
+        return self.ledger.total().requests
+
+    @property
+    def cold_starts(self) -> int:
+        return self.ledger.total().cold_starts
+
+    @property
+    def cold_penalty_s(self) -> float:
+        return self.ledger.total().cold_penalty_s
+
+    @property
+    def wasted_warm_pod_s(self) -> float:
+        return self.ledger.total().wasted_warm_pod_s
+
+    @property
+    def wasted_warm_cpu_s(self) -> float:
+        return self.ledger.total().wasted_warm_cpu_s
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.ledger.slo_attainment()
+
+    @property
+    def goodput(self) -> float:
+        return self.ledger.goodput(self.duration)
+
+    def digest(self) -> str:
+        """Byte-identity oracle over the cell's economics + decisions."""
+        digest = hashlib.sha256()
+        digest.update(self.decision_digest.encode())
+        for name in sorted(self.ledger.per_fn):
+            digest.update(f"{name}:{self.ledger.per_fn[name]!r}\n".encode())
+        digest.update(
+            f"{self.p50_ms!r}:{self.p99_ms!r}:{self.p999_ms!r}".encode()
+        )
+        return digest.hexdigest()
+
+
+def _lognormal(rng: random.Random, mean: float, cv: float) -> float:
+    sigma2 = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma2 / 2.0
+    return rng.lognormvariate(mu, math.sqrt(sigma2))
+
+
+def simulate_cell(spec: CellSpec) -> CellResult:
+    """Run one (plane x policy) cell; pure function of its spec.
+
+    Per function the walk is exact, not sampled: every arrival consults the
+    warm plan the policy committed after the previous completion, charges a
+    cold-start penalty when it misses the warm/prewarm windows, accrues the
+    idle warm pod-seconds between completions, and commits the next plan.
+    """
+    profile = PLANE_PROFILES[spec.plane]
+    fleet = SyntheticFleet(spec.fleet)
+    policy: KeepAlivePolicy = make_policy(spec.policy)
+    ledger = EconomicsLedger(slo=spec.slo)
+    latencies: list[float] = []
+    duration = spec.fleet.duration
+
+    for fn_index, fn in enumerate(fleet.function_names()):
+        source = fleet.source(fn_index)
+        rng = random.Random(
+            derive_stream_seed(spec.fleet.seed, spec.stream(f"{fn}/latency"))
+        )
+        pinned = policy.min_warm(fn) > 0
+        # Pinned capacity is warm from t=0; everyone else starts cold.
+        plan = policy.plan_after(fn, 0.0) if pinned else None
+        prev_end = 0.0
+        prev_arrival: Optional[float] = None
+        for arrival in source.events():
+            t = arrival.time
+            if plan is not None:
+                ledger.record_warm_idle(
+                    fn,
+                    plan.warm_idle_seconds(prev_end, t),
+                    profile.idle_pod_cpu_frac,
+                )
+            if t < prev_end:
+                # The pod is still serving the previous request: it exists,
+                # so this arrival cannot cold-start regardless of the plan.
+                warm = True
+            elif plan is None:
+                warm = False
+            else:
+                warm = plan.is_warm_at(t)
+            penalty = 0.0
+            if not warm:
+                penalty = _lognormal(
+                    rng, profile.cold_start_mean, profile.cold_start_cv
+                )
+            service = _lognormal(rng, spec.service_time_mean, spec.service_time_cv)
+            latency = penalty + profile.per_request_overhead + service
+            latencies.append(latency)
+            ledger.record_request(fn, latency, cold=not warm, penalty_s=penalty)
+            ledger.record_busy(fn, service)
+            if prev_arrival is not None:
+                policy.observe_gap(fn, t - prev_arrival)
+            prev_arrival = t
+            prev_end = max(prev_end, t + latency)
+            plan = policy.plan_after(fn, prev_end)
+        # Tail: warm window outlasting the trace still costs until the
+        # horizon (pinned pods idle all day on a never-invoked function).
+        if plan is not None:
+            ledger.record_warm_idle(
+                fn,
+                plan.warm_idle_seconds(prev_end, duration),
+                profile.idle_pod_cpu_frac,
+            )
+
+    if latencies:
+        summary = summarize(latencies)
+        p50, p99, p999 = (
+            summary.p50 * 1e3,
+            summary.p99 * 1e3,
+            summary.p999 * 1e3,
+        )
+    else:
+        p50 = p99 = p999 = float("nan")
+    return CellResult(
+        plane=spec.plane,
+        policy=spec.policy,
+        pattern=spec.fleet.pattern,
+        duration=duration,
+        functions=spec.fleet.functions,
+        ledger=ledger,
+        p50_ms=p50,
+        p99_ms=p99,
+        p999_ms=p999,
+        decision_digest=policy.decision_digest(),
+    )
+
+
+def run_cells(specs: Sequence[CellSpec], processes: int = 1) -> list[CellResult]:
+    """Run every cell, optionally sharded across worker processes.
+
+    Results come back in spec order regardless of worker scheduling, and
+    each cell is a pure function of its spec, so the parallel output is
+    byte-identical to ``processes=1`` — the property the traffic-smoke CI
+    job and the hypothesis suite both assert.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if processes == 1 or len(specs) <= 1:
+        return [simulate_cell(spec) for spec in specs]
+    processes = min(processes, len(specs))
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    with context.Pool(processes) as pool:
+        return pool.map(simulate_cell, list(specs))
+
+
+def build_specs(
+    planes: Sequence[str],
+    policies: Sequence[str],
+    fleet: FleetParams,
+    patterns: Sequence[str] = ("diurnal", "bursty"),
+    slo: Optional[SloPolicy] = None,
+    service_time_mean: float = 0.010,
+    service_time_cv: float = 0.30,
+) -> list[CellSpec]:
+    """The full lab grid: patterns x planes x policies, deterministic order."""
+    slo = slo or SloPolicy()
+    specs = []
+    for pattern in patterns:
+        shaped = replace(fleet, pattern=pattern)
+        for plane in planes:
+            for policy in policies:
+                specs.append(
+                    CellSpec(
+                        plane=plane,
+                        policy=policy,
+                        fleet=shaped,
+                        slo=slo,
+                        service_time_mean=service_time_mean,
+                        service_time_cv=service_time_cv,
+                    )
+                )
+    return specs
+
+
+def publish_results(results: Sequence[CellResult], registry) -> None:
+    """Publish every cell's ledger under ``traffic/<pattern>/<plane>/<policy>``."""
+    for result in results:
+        prefix = f"traffic/{result.pattern}/{result.plane}/{result.policy}"
+        result.ledger.publish(registry, prefix=prefix)

@@ -2,6 +2,7 @@
 
 from .generators import (
     ClosedLoopGenerator,
+    NonMonotonicTraceError,
     OpenLoopGenerator,
     TraceEvent,
     WeightedMix,
@@ -12,6 +13,7 @@ from . import boutique, kvstore, motion, parking
 
 __all__ = [
     "ClosedLoopGenerator",
+    "NonMonotonicTraceError",
     "OpenLoopGenerator",
     "TraceEvent",
     "WeightedMix",
