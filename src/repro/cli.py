@@ -15,6 +15,8 @@ Examples::
     spright-repro trace --plane s-spright --workload boutique --out out/
     spright-repro traffic --functions 12 --processes 2
     spright-repro traffic --policies kpa pinned --patterns bursty
+    spright-repro cluster --nodes 3 --placement all
+    spright-repro cluster --planes s-spright lambda-nic --sanitize
     spright-repro all               # everything, at smoke-test scale
 
 Any command also accepts ``--trace``/``--profile``: the run executes with
@@ -34,6 +36,7 @@ from .experiments import (
     ablations,
     audits,
     boutique_exp,
+    cluster_exp,
     faults_exp,
     fig2,
     fig5,
@@ -159,6 +162,22 @@ def _cmd_traffic(args) -> str:
     return traffic_exp.format_report(lab)
 
 
+def _cmd_cluster(args) -> str:
+    policies = (
+        cluster_exp.POLICIES
+        if args.placement == "all"
+        else (args.placement,)
+    )
+    node_counts = (1, args.nodes) if args.nodes > 1 else (1,)
+    sweep = cluster_exp.run_cluster_sweep(
+        planes=args.planes or cluster_exp.CLUSTER_PLANES,
+        policies=policies,
+        node_counts=node_counts,
+        duration=args.duration or 2.0,
+    )
+    return cluster_exp.format_report(sweep)
+
+
 def _cmd_all(args) -> str:
     sections = [
         _cmd_tables(args),
@@ -185,6 +204,7 @@ COMMANDS = {
     "recovery": _cmd_recovery,
     "trace": _cmd_trace,
     "traffic": _cmd_traffic,
+    "cluster": _cmd_cluster,
     "all": _cmd_all,
 }
 
@@ -240,8 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         nargs="+",
         default=None,
-        choices=("knative", "grpc", "s-spright", "d-spright"),
-        help="recovery: restrict the suite to these dataplanes",
+        choices=("knative", "grpc", "s-spright", "d-spright", "lambda-nic"),
+        help="recovery/cluster: restrict the suite to these dataplanes",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=3,
+        help="cluster: node count for the multi-node sweep points",
+    )
+    parser.add_argument(
+        "--placement",
+        type=str,
+        default="all",
+        choices=("all",) + cluster_exp.POLICIES,
+        help="cluster: restrict the sweep to one placement policy",
     )
     parser.add_argument(
         "--no-overload",

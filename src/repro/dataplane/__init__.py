@@ -21,7 +21,14 @@ from .sidecars import (
     SidecarSpec,
     sidecar_by_name,
 )
-from .spright import DSprightDataplane, SprightParams, SSprightDataplane
+from .spright import (
+    DSprightDataplane,
+    LambdaNicDataplane,
+    NicComputeEngine,
+    NicComputeModel,
+    SprightParams,
+    SSprightDataplane,
+)
 
 __all__ = [
     "ALL_SIDECARS",
@@ -32,7 +39,10 @@ __all__ = [
     "GrpcParams",
     "KnativeDataplane",
     "KnativeParams",
+    "LambdaNicDataplane",
     "NULL_SIDECAR",
+    "NicComputeEngine",
+    "NicComputeModel",
     "OF_WATCHDOG",
     "OverloadError",
     "ProxyComponent",

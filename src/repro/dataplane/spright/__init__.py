@@ -17,11 +17,12 @@ from .chain import (
     SprightMessage,
     SproxyTransport,
 )
+from .lambda_nic import LambdaNicDataplane
 from .plane import DSprightDataplane, SprightParams, SSprightDataplane
 from .routing import DfrRoutingTable, GATEWAY_INSTANCE_ID, RoutingError
 from .security import SecurityDomain, filter_key
 from .sockets import SproxySocket
-from .xdp_accel import XdpAccelerator
+from .xdp_accel import NicComputeEngine, NicComputeModel, XdpAccelerator
 
 __all__ = [
     "AdapterError",
@@ -32,8 +33,11 @@ __all__ = [
     "DSprightDataplane",
     "GATEWAY_INSTANCE_ID",
     "HttpAdapter",
+    "LambdaNicDataplane",
     "MqttAdapter",
     "MqttSessionTable",
+    "NicComputeEngine",
+    "NicComputeModel",
     "ProtocolAdapter",
     "RingTransport",
     "RoutingError",

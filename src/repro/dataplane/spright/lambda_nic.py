@@ -1,0 +1,76 @@
+"""λ-NIC: the fifth dataplane — serverless functions on the SmartNIC itself.
+
+PAPERS.md's "λ-NIC: Interactive Serverless Compute on Programmable
+SmartNICs" observes that most serverless functions are short and small
+enough to run entirely on a programmable NIC's cores. This plane extends
+S-SPRIGHT with a :class:`~.xdp_accel.NicComputeEngine`: when *every*
+function in a request's call sequence is offload-eligible
+(match-action expressible + under the NIC's service-time ceiling) and a NIC
+core is free, the request never crosses the PCIe boundary — rx DMA, XDP
+parse, the handlers back-to-back on NIC cores, tx DMA. Zero copies, zero
+context switches, zero interrupts, and — the headline — **zero host-core
+cost**. Anything heavier, or arriving while all NIC cores are busy, falls
+back to the ordinary S-SPRIGHT host path (same shared-memory chain, same
+costs), so the NIC is an accelerator, not a cliff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..base import Request
+from .plane import SSprightDataplane
+from .xdp_accel import NicComputeEngine, NicComputeModel
+
+
+class LambdaNicDataplane(SSprightDataplane):
+    """S-SPRIGHT + SmartNIC offload of whole short functions."""
+
+    plane = "lambdanic"
+
+    def __init__(self, *args, nic_model: Optional[NicComputeModel] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._nic_model = nic_model
+        self.nic: Optional[NicComputeEngine] = None
+
+    def _setup_transport(self) -> None:
+        super()._setup_transport()
+        self.nic = NicComputeEngine(self.node, self._nic_model)
+
+    # -- request path -------------------------------------------------------
+    def handle_request(self, request: Request):
+        nic = self.nic
+        assert nic is not None, "deploy() must run before handle_request()"
+        specs = [self.functions[name] for name in request.request_class.sequence]
+        if all(nic.eligible(spec) for spec in specs) and nic.try_reserve():
+            try:
+                yield from self._serve_at_nic(request, specs)
+            finally:
+                nic.release()
+            return request
+        # Heavy function in the sequence, or NIC compute budget exhausted:
+        # the host plane serves it — the λ-NIC fallback contract.
+        self.node.counters.incr(f"{self.plane}/host_fallbacks")
+        result = yield from super().handle_request(request)
+        return result
+
+    def _serve_at_nic(self, request: Request, specs):
+        """Generator: the whole call sequence on NIC cores (no host CPU)."""
+        env = self.node.env
+        costs = self.node.config.costs
+        request.mark("nic_ingress", env.now)
+        span = request.span_begin(
+            "nic:offload", "nic", fns=len(specs), bytes=len(request.payload)
+        )
+        # Frame lands in NIC SRAM: rx DMA + XDP parse/steer.
+        yield env.timeout(costs.nic_dma + costs.xdp_fixed)
+        payload = request.payload
+        for spec in specs:
+            result = yield from self.nic.execute(spec, payload)
+            payload = result.payload
+        # Response leaves straight from the NIC: tx DMA only.
+        yield env.timeout(costs.nic_dma)
+        request.span_end(span, offloaded=True)
+        self.node.counters.incr(f"{self.plane}/offloaded")
+        request.response = payload
+        request.mark("nic_response", env.now)

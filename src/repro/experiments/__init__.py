@@ -14,12 +14,14 @@
 | recovery_exp  | availability table (crash storms, overload admission) |
 | trace_exp     | traced runs (spans, OpenMetrics, flamegraphs) |
 | traffic_exp   | fleet-scale keep-alive economics (§4.2.2 at scale) |
+| cluster_exp   | multi-node placement + λ-NIC offload (§3.8) |
 """
 
 from . import (
     ablations,
     audits,
     boutique_exp,
+    cluster_exp,
     faults_exp,
     fig2,
     fig5,
@@ -35,6 +37,7 @@ __all__ = [
     "ablations",
     "audits",
     "boutique_exp",
+    "cluster_exp",
     "faults_exp",
     "fig2",
     "fig5",

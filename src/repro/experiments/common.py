@@ -24,6 +24,7 @@ from ..dataplane import (
     GrpcDataplane,
     KnativeDataplane,
     KnativeParams,
+    LambdaNicDataplane,
     RequestClass,
     SprightParams,
     SSprightDataplane,
@@ -39,6 +40,7 @@ PLANES = {
     "grpc": GrpcDataplane,
     "s-spright": SSprightDataplane,
     "d-spright": DSprightDataplane,
+    "lambda-nic": LambdaNicDataplane,
 }
 
 
@@ -102,7 +104,7 @@ def build_plane(
     kwargs: dict = {"kubelet": kubelet, "cold_start": cold_start}
     if plane_cls is KnativeDataplane and knative_params is not None:
         kwargs["params"] = knative_params
-    if plane_cls in (SSprightDataplane, DSprightDataplane):
+    if issubclass(plane_cls, (SSprightDataplane, DSprightDataplane)):
         if spright_params is not None:
             kwargs["params"] = spright_params
         kwargs["metrics_server"] = metrics_server

@@ -71,6 +71,13 @@ class CostModel:
     shm_pool_put: float = usec(0.15)
     hugepage_access_discount: float = 0.85     # TLB-friendly access factor
     descriptor_bytes: int = 16                 # SPROXY packet descriptor
+    # -- cluster fabric (east-west, NIC-to-NIC over ToR) ---------------------
+    xnode_link_latency: float = usec(25.0)     # propagation + switch hop
+    xnode_bandwidth_bps: float = 10e9          # 10 GbE fabric links
+    # -- λ-NIC SmartNIC offload (programmable NIC cores) ---------------------
+    nic_compute_cores: float = 4.0             # wimpy RISC cores on the NIC
+    nic_compute_slowdown: float = 2.75         # host-seconds -> NIC-seconds
+    nic_offload_ceiling: float = usec(60.0)    # heaviest offloadable handler
     # -- machine ----------------------------------------------------------------
     cpu_freq_hz: float = 2.2e9                  # c220g5: Intel @ 2.2 GHz
     cores: int = 40

@@ -89,7 +89,14 @@ class NetDevice:
 
 
 class PhysicalNic(NetDevice):
-    """The node's physical NIC: XDP hook at the earliest RX point."""
+    """The node's physical NIC: XDP hook at the earliest RX point.
+
+    ``offload_engine`` is the SmartNIC seam: when a
+    :class:`~repro.dataplane.spright.xdp_accel.NicComputeEngine` is
+    attached, whole match-action-expressible functions execute on the NIC's
+    own cores at this hook (λ-NIC), never waking the host. ``None`` means a
+    plain fixed-function NIC.
+    """
 
     def __init__(
         self, env: "Environment", registry: DeviceRegistry, vm: Vm, name: str = "eth0"
@@ -97,6 +104,7 @@ class PhysicalNic(NetDevice):
         super().__init__(env, name, registry)
         self.xdp_hook = HookPoint(f"xdp@{name}", ProgramType.XDP, vm)
         self.link_speed_bps = 10e9  # 10 GbE, per the c220g5 testbed
+        self.offload_engine = None  # duck-typed NicComputeEngine (λ-NIC)
 
 
 class VethEndpoint(NetDevice):

@@ -26,6 +26,7 @@ from .scheduler import (
     PlacementError,
     chain_core_request,
     chain_memory_request,
+    placement_diagnostics,
 )
 from .spec import (
     ChainSpec,
@@ -70,6 +71,7 @@ __all__ = [
     "WorkerNode",
     "chain_core_request",
     "chain_memory_request",
+    "placement_diagnostics",
     "desired_scale_for_concurrency",
     "echo_behavior",
     "sequential_chain",

@@ -9,13 +9,47 @@ reports the resource fragmentation this causes (also discussed in §3.8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from .spec import ChainSpec
 
 
 class PlacementError(Exception):
-    """No node can host the chain."""
+    """No node can host the chain (or function).
+
+    ``diagnostics`` carries the machine-readable residual report: what was
+    requested, and — per candidate node — what was free and by how much the
+    request overshot it, so operators (and tests) can see *why* placement
+    failed instead of just that it did.
+    """
+
+    def __init__(self, message: str, diagnostics: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.diagnostics: dict = diagnostics or {}
+
+
+def placement_diagnostics(
+    subject: str,
+    cores: float,
+    memory_mb: float,
+    nodes: Iterable["NodeDescriptor"],
+) -> dict:
+    """Per-node residuals + shortfalls for a failed placement request."""
+    return {
+        "subject": subject,
+        "cores_requested": cores,
+        "memory_mb_requested": memory_mb,
+        "candidates": [
+            {
+                "node": node.name,
+                "free_cores": node.free_cores,
+                "free_memory_mb": node.free_memory_mb,
+                "core_shortfall": max(0.0, cores - node.free_cores),
+                "memory_shortfall_mb": max(0.0, memory_mb - node.free_memory_mb),
+            }
+            for node in nodes
+        ],
+    }
 
 
 @dataclass
@@ -77,7 +111,10 @@ class PlacementEngine:
         ]
         if not candidates:
             raise PlacementError(
-                f"no node has {cores:.1f} cores + {memory:.0f} MB for chain {chain.name!r}"
+                f"no node has {cores:.1f} cores + {memory:.0f} MB for chain {chain.name!r}",
+                diagnostics=placement_diagnostics(
+                    chain.name, cores, memory, self.nodes.values()
+                ),
             )
         if strategy == "spread":
             best = min(candidates, key=lambda node: (len(node.chains), -node.free_cores))
@@ -107,6 +144,10 @@ class PlacementEngine:
             node.free_cores for node in self.nodes.values() if node.chains
         )
         total = sum(node.cores for node in self.nodes.values())
+        if total == 0:
+            # Registered nodes may all have zero capacity (drained for
+            # maintenance); stranding is then meaningless, not a crash.
+            return 0.0
         return stranded / total
 
     def node_of(self, chain_name: str) -> Optional[str]:

@@ -53,6 +53,14 @@ class FunctionSpec:
     # heavy marshalling/scheduler overhead; the C ports for SPRIGHT do not.
     runtime_overhead_path: float = 0.0   # latency+CPU on the critical path
     runtime_overhead_bg: float = 0.0     # CPU off the critical path (GC, ...)
+    # λ-NIC SmartNIC offload (PAPERS.md): a handler expressible as
+    # match-action stages (kvstore GET, plate lookup) can run entirely at
+    # the XDP/NIC layer. The flag states expressibility; eligibility also
+    # requires the service time to fit the NIC's offload ceiling (the
+    # engine checks both). ``nic_insns`` is the match-action program length
+    # the NIC executes per invocation.
+    nic_offloadable: bool = False
+    nic_insns: int = 96
 
     def __post_init__(self) -> None:
         if self.service_time < 0:
