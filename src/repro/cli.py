@@ -17,17 +17,30 @@ Examples::
     spright-repro traffic --policies kpa pinned --patterns bursty
     spright-repro cluster --nodes 3 --placement all
     spright-repro cluster --planes s-spright lambda-nic --sanitize
+    spright-repro bench             # throughput trajectory vs last BENCH_*.json
     spright-repro all               # everything, at smoke-test scale
 
 Any command also accepts ``--trace``/``--profile``: the run executes with
 span tracing / CPU profiling on, and with ``--out`` the Perfetto trace
 JSON, OpenMetrics text, and folded flamegraph stacks are written next to
 the report.
+
+``serve`` wraps any other command with the live dashboard::
+
+    spright-repro serve --port 8089 -- traffic --functions 12
+    spright-repro serve --linger 600 -- boutique --duration 120 --trace
+
+The inner command runs unchanged (stdout stays byte-identical to a
+headless run — the dashboard URL goes to stderr) while an SSE server
+streams metrics, span waterfalls, SLO burn rates, and economics to the
+browser. ``--linger`` keeps the server up after the run completes so the
+final state stays inspectable.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from . import obs
@@ -178,6 +191,27 @@ def _cmd_cluster(args) -> str:
     return cluster_exp.format_report(sweep)
 
 
+def _cmd_bench(args) -> str:
+    import json
+    from pathlib import Path
+
+    from . import bench
+
+    payload = bench.run_bench(duration=args.duration or 0.8)
+    directory = Path(args.bench_dir)
+    previous_path = bench.find_previous(directory, payload["pr"])
+    comparison = None
+    if previous_path is not None:
+        comparison = bench.compare(
+            payload,
+            json.loads(previous_path.read_text()),
+            tolerance=args.tolerance,
+        )
+    path = bench.write_trajectory(payload, directory)
+    report = bench.format_report(payload, comparison)
+    return report + f"\n\ntrajectory written: {path}"
+
+
 def _cmd_all(args) -> str:
     sections = [
         _cmd_tables(args),
@@ -205,8 +239,75 @@ COMMANDS = {
     "trace": _cmd_trace,
     "traffic": _cmd_traffic,
     "cluster": _cmd_cluster,
+    "bench": _cmd_bench,
     "all": _cmd_all,
 }
+
+
+@contextlib.contextmanager
+def dashboard_session(host: str = "127.0.0.1", port: int = 0):
+    """Run a live dashboard around a block of simulation work.
+
+    Installs a process-wide :class:`~repro.obs.live.LiveSink` (every node
+    created inside the block auto-attaches) and serves it over HTTP/SSE.
+    The URL is printed to **stderr** so the wrapped command's stdout stays
+    byte-identical to a headless run.
+    """
+    from .obs.live import DashboardServer, LiveSink
+
+    sink = LiveSink()
+    server = DashboardServer(sink, host=host, port=port)
+    server.start()
+    obs.set_default_live_sink(sink)
+    print(f"spright-repro dashboard: {server.url}", file=sys.stderr)
+    try:
+        yield sink, server
+    finally:
+        obs.set_default_live_sink(None)
+        sink.detach_all()
+        server.stop()
+
+
+def _serve(argv) -> int:
+    """The ``serve`` subcommand: wrap an inner command with the dashboard."""
+    parser = argparse.ArgumentParser(
+        prog="spright-repro serve",
+        description="Serve the live dashboard around any other command: "
+        "spright-repro serve [options] -- <command> [args]",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8089, help="dashboard port (0 = ephemeral)"
+    )
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep serving this long after the inner command finishes",
+    )
+    if "--" in argv:
+        split = argv.index("--")
+        own, inner = argv[:split], argv[split + 1 :]
+    else:
+        own, inner = argv, []
+    args = parser.parse_args(own)
+    if not inner:
+        parser.error("serve needs a wrapped command: serve [options] -- boutique ...")
+    with dashboard_session(args.host, args.port) as (sink, _server):
+        code = main(inner)
+        sink.finalize()
+        if args.linger > 0:
+            import time
+
+            print(
+                f"spright-repro dashboard: lingering {args.linger:.0f}s "
+                "(Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+            with contextlib.suppress(KeyboardInterrupt):
+                time.sleep(args.linger)
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,6 +444,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report (and a JSON copy) under this directory",
     )
     parser.add_argument(
+        "--bench-dir",
+        type=str,
+        default=".",
+        help="bench: directory holding BENCH_<n>.json trajectory files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="bench: allowed fractional throughput drop vs the previous "
+        "trajectory point before the gate reports FAILED",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="run every SPRIGHT chain in memory-safety checked mode: the "
@@ -354,6 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
     args = build_parser().parse_args(argv)
     if args.sanitize:
         set_default_sanitize(True)

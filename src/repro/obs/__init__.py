@@ -20,7 +20,7 @@ import os
 import weakref
 from typing import TYPE_CHECKING, Optional
 
-from . import export
+from . import export, live, slo
 from .metrics import (
     CounterMetric,
     GaugeMetric,
@@ -43,6 +43,21 @@ def _env_flag(raw: Optional[str]) -> bool:
 
 _default_trace = _env_flag(os.environ.get("SPRIGHT_REPRO_TRACE"))
 _default_profile = _env_flag(os.environ.get("SPRIGHT_REPRO_PROFILE"))
+
+#: Process-wide LiveSink every new Observability bundle auto-attaches to —
+#: how the CLI's --serve flag sees the nodes an experiment creates without
+#: the experiment knowing a dashboard exists.
+_default_live_sink: Optional["live.LiveSink"] = None
+
+
+def set_default_live_sink(sink: Optional["live.LiveSink"]) -> None:
+    """Install (or clear, with ``None``) the process-wide live sink."""
+    global _default_live_sink
+    _default_live_sink = sink
+
+
+def default_live_sink() -> Optional["live.LiveSink"]:
+    return _default_live_sink
 
 #: Observability bundles with tracing/profiling enabled this process, in
 #: creation order — how the CLI finds what to export after a ``--trace`` run.
@@ -83,14 +98,17 @@ def reset_sessions() -> None:
 class Observability:
     """One node's observability bundle: registry + optional tracer/profiler."""
 
-    def __init__(self, env: "Environment") -> None:
+    def __init__(self, env: "Environment", label: Optional[str] = None) -> None:
         self.env = env
+        self.label = label
         self.registry = MetricsRegistry()
         self.counters = LegacyCounters(self.registry)
         self.tracer: Optional[Tracer] = None
         self.profiler: Optional[CpuProfiler] = None
         self._kernel_counters: dict = {}
         self._registered = False
+        if _default_live_sink is not None:
+            _default_live_sink.attach(self)
 
     # -- enabling ------------------------------------------------------------
     def enable_tracing(self) -> Tracer:
@@ -146,10 +164,14 @@ __all__ = [
     "Tracer",
     "active_sessions",
     "coverage",
+    "default_live_sink",
     "default_observe",
     "export",
+    "live",
     "log_bucket_bounds",
     "reset_sessions",
     "sanitize_metric_name",
+    "set_default_live_sink",
     "set_default_observe",
+    "slo",
 ]

@@ -15,11 +15,87 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
+from .metrics import CounterMetric, GaugeMetric, sanitize_metric_name
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .span import Span, Tracer
 
 PROCESS_NAME = "spright-repro"
 PID = 1
+
+
+# -- OpenMetrics text exposition ----------------------------------------------
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the OpenMetrics exposition format.
+
+    The spec admits exactly three escapes inside a quoted label value:
+    backslash (``\\``), newline (``\\n``), and double-quote (``\\"``) — and
+    the backslash must be escaped first or the other two double-escape.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def format_labels(labels: Optional[dict] = None, extra: str = "") -> str:
+    """``{a="x",b="y"}`` (or ``""`` when empty); values escaped, keys sorted.
+
+    ``extra`` is a pre-rendered trailing label (the histogram ``le``) that
+    must stay last so bucket lines keep the conventional shape.
+    """
+    parts = [
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted((labels or {}).items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_openmetrics(
+    registry, prefix: str = "spright", labels: Optional[dict] = None
+) -> str:
+    """A registry as OpenMetrics text: typed families, sorted sample names,
+    spec-escaped label values, ``_sum``/``_count`` on every histogram, and
+    the mandatory ``# EOF`` terminator.
+
+    ``labels`` are constant labels stamped on every sample — how a
+    multi-node dashboard distinguishes ``node="worker-1"`` from
+    ``node="worker-2"`` in one merged scrape.
+    """
+    lines: list[str] = []
+    plain = format_labels(labels)
+    for name in registry.names():
+        metric = registry.find(name)
+        flat = sanitize_metric_name(name, prefix)
+        if isinstance(metric, CounterMetric):
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat}_total{plain} {_fmt_number(metric.value)}")
+        elif isinstance(metric, GaugeMetric):
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat}{plain} {_fmt_number(metric.value)}")
+        else:
+            lines.append(f"# TYPE {flat} histogram")
+            for bound, cumulative in metric.cumulative():
+                le = "+Inf" if bound == float("inf") else format(bound, "g")
+                label_set = format_labels(labels, extra=f'le="{le}"')
+                lines.append(f"{flat}_bucket{label_set} {cumulative}")
+            lines.append(f"{flat}_sum{plain} {_fmt_number(metric.total)}")
+            lines.append(f"{flat}_count{plain} {metric.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_number(value) -> str:
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(value)
 
 
 def trace_event_payload(tracer: "Tracer", process_name: str = PROCESS_NAME) -> dict:

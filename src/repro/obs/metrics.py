@@ -171,33 +171,19 @@ class MetricsRegistry:
         return total
 
     # -- OpenMetrics text exposition ----------------------------------------
-    def render_openmetrics(self, prefix: str = "spright") -> str:
-        """The registry as OpenMetrics text (sorted, ``# EOF``-terminated)."""
-        lines: list[str] = []
-        for name in self.names():
-            metric = self._metrics[name]
-            flat = sanitize_metric_name(name, prefix)
-            if isinstance(metric, CounterMetric):
-                lines.append(f"# TYPE {flat} counter")
-                lines.append(f"{flat}_total {_fmt(metric.value)}")
-            elif isinstance(metric, GaugeMetric):
-                lines.append(f"# TYPE {flat} gauge")
-                lines.append(f"{flat} {_fmt(metric.value)}")
-            else:
-                lines.append(f"# TYPE {flat} histogram")
-                for bound, cumulative in metric.cumulative():
-                    le = "+Inf" if bound == float("inf") else format(bound, "g")
-                    lines.append(f'{flat}_bucket{{le="{le}"}} {cumulative}')
-                lines.append(f"{flat}_sum {_fmt(metric.total)}")
-                lines.append(f"{flat}_count {metric.count}")
-        lines.append("# EOF")
-        return "\n".join(lines) + "\n"
+    def render_openmetrics(
+        self, prefix: str = "spright", labels: Optional[dict] = None
+    ) -> str:
+        """The registry as OpenMetrics text (sorted, ``# EOF``-terminated).
 
+        Delegates to :func:`repro.obs.export.render_openmetrics`, the one
+        conformant renderer (spec label escaping, histogram ``_sum`` and
+        ``_count``, ``# EOF``); ``labels`` stamps constant labels on every
+        sample. Imported lazily to keep this module dependency-free.
+        """
+        from .export import render_openmetrics
 
-def _fmt(value: Number) -> str:
-    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
-        return str(int(value))
-    return repr(value)
+        return render_openmetrics(self, prefix=prefix, labels=labels)
 
 
 class LegacyCounters:

@@ -87,6 +87,39 @@ class MetricsServer:
         sample = self.latest(function, now)
         return sample.concurrency if sample else 0
 
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """Autoscaling state as one JSON-ready dict (the live-dashboard and
+        experiment-report view): the latest sample per function, with each
+        sample's staleness judged against ``now`` when given.
+
+        Unlike :meth:`latest`, stale functions are still listed — marked
+        ``stale`` — so a dashboard shows a scraper that went quiet instead
+        of silently dropping the row.
+        """
+        rows = []
+        for function in self.functions():
+            sample = self.latest(function)  # no staleness cut here
+            if sample is None:  # pragma: no cover - functions() implies a sample
+                continue
+            rows.append(
+                {
+                    "function": function,
+                    "timestamp": sample.timestamp,
+                    "request_rate": sample.request_rate,
+                    "concurrency": sample.concurrency,
+                    "response_time": sample.response_time,
+                    "stale": (
+                        now is not None
+                        and now - sample.timestamp > self.staleness_limit
+                    ),
+                }
+            )
+        return {
+            "schema": "spright.autoscale/1",
+            "reports_received": self.reports_received,
+            "functions": rows,
+        }
+
     def history(self, function: str) -> list[PodMetrics]:
         return list(self._history[function])
 

@@ -67,7 +67,7 @@ class WorkerNode:
         # Observability bundle (repro.obs): the metrics registry is always
         # on and backs node.counters; tracing/profiling follow the process
         # defaults (the CLI's --trace/--profile) unless enabled per node.
-        self.obs = Observability(self.env)
+        self.obs = Observability(self.env, label=name)
         trace_default, profile_default = default_observe()
         if trace_default:
             self.obs.enable_tracing()

@@ -30,6 +30,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Events processed so far — a free progress/throughput signal for
+        #: the bench harness and live observers (int increment, no events).
+        self.events_processed = 0
+        self._observers: list = []
 
     # -- clock --------------------------------------------------------------
     @property
@@ -68,6 +72,24 @@ class Environment:
         """Time of the next scheduled event, or +inf if none."""
         return self._queue[0][0] if self._queue else inf
 
+    # -- passive observers ----------------------------------------------------
+    def add_observer(self, callback) -> None:
+        """Register ``callback(now)`` to run after every processed event.
+
+        The observer contract is strictly passive: a callback must not
+        schedule events, create processes, or draw from any RNG stream —
+        it may only *read* simulation state (and ship what it read to
+        threads outside the simulation). Under that contract an observed
+        run's event sequence, and therefore every table and golden it
+        produces, is byte-identical to an unobserved run's.
+        """
+        if callback not in self._observers:
+            self._observers.append(callback)
+
+    def remove_observer(self, callback) -> None:
+        if callback in self._observers:
+            self._observers.remove(callback)
+
     def step(self) -> None:
         """Process the next scheduled event, advancing the clock."""
         try:
@@ -86,6 +108,11 @@ class Environment:
             exc = event._value
             assert isinstance(exc, BaseException)
             raise exc
+
+        self.events_processed += 1
+        if self._observers:
+            for observer in self._observers:
+                observer(self._now)
 
     # -- run loop ---------------------------------------------------------------
     def run(self, until: object = None) -> object:

@@ -108,6 +108,17 @@ class LatencyRecorder:
     def latencies(self, group: str = "") -> list[float]:
         return [latency for _, latency in self._samples[group]]
 
+    def samples_since(
+        self, index: int, group: str = ""
+    ) -> list[tuple[float, float]]:
+        """(completion_time, latency) samples recorded at position >= index.
+
+        The streaming accessor: a live consumer remembers ``count(group)``
+        after each drain and pays only for what arrived since — not a full
+        copy of the history like :meth:`latencies`.
+        """
+        return self._samples[group][index:]
+
     def all_latencies(self) -> list[float]:
         return [
             latency

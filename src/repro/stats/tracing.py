@@ -101,6 +101,86 @@ def waterfall(
     return "\n".join(lines)
 
 
+def waterfall_rows(
+    timeline: Sequence[tuple[str, float]], created_at: float
+) -> list[dict]:
+    """The waterfall as structured rows — the SSE dashboard's wire shape.
+
+    Each row carries the same information the ASCII renderer draws: name,
+    start offset and duration (seconds, relative to ``created_at``), the
+    fraction-of-total geometry for drawing bars, and the marker — ``#`` for
+    a real leg, ``!`` for a clamped out-of-order stamp (mirroring
+    :func:`waterfall`; a client must never render a fake bar for those).
+    """
+    parts = segments(timeline, created_at)
+    if not parts:
+        return []
+    total = parts[-1].start + parts[-1].duration - created_at
+    rows = []
+    for segment in parts:
+        offset = segment.start - created_at
+        rows.append(
+            {
+                "name": segment.name,
+                "kind": "phase",
+                "start_s": offset,
+                "duration_s": segment.duration,
+                "offset_frac": (offset / total) if total > 0 else 0.0,
+                "width_frac": (segment.duration / total) if total > 0 else 0.0,
+                "out_of_order": segment.out_of_order,
+                "marker": "!" if segment.out_of_order else "#",
+            }
+        )
+    return rows
+
+
+def span_waterfall_rows(root, spans: Sequence) -> list[dict]:
+    """One traced request's waterfall rows, from its span tree.
+
+    Phase spans become the :func:`waterfall_rows` legs; zero-duration
+    *event* spans (fault injections, retries, hedges — category
+    ``"event"``) are appended as explicit zero-width marker rows (marker
+    ``!``) so the live view shows resilience activity inline with the
+    request's legs instead of silently dropping it.
+
+    Stamps the tracer already clamped keep their ``!`` marker too: the
+    tracer stores monotonic (clamped) phase boundaries, so re-deriving
+    order from the timeline alone would silently launder an out-of-order
+    stamp into an innocent zero-width leg — the phase span's own
+    ``out_of_order`` attribute is the surviving evidence, folded back in.
+    """
+    phases = sorted(
+        (span for span in spans if getattr(span, "category", None) == "phase"),
+        key=lambda span: (span.start, span.sid),
+    )
+    phases = [span for span in phases if span.end is not None]
+    rows = waterfall_rows([(span.name, span.end) for span in phases], root.start)
+    for row, span in zip(rows, phases):
+        if span.attrs.get("out_of_order"):
+            row["out_of_order"] = True
+            row["marker"] = "!"
+    total = root.duration
+    events = sorted(
+        (span for span in spans if getattr(span, "category", None) == "event"),
+        key=lambda span: (span.start, span.sid),
+    )
+    for span in events:
+        offset = span.start - root.start
+        rows.append(
+            {
+                "name": span.name,
+                "kind": "event",
+                "start_s": offset,
+                "duration_s": 0.0,
+                "offset_frac": (offset / total) if total > 0 else 0.0,
+                "width_frac": 0.0,
+                "out_of_order": False,
+                "marker": "!",
+            }
+        )
+    return rows
+
+
 def spans_to_timeline(spans: Sequence) -> list[tuple[str, float]]:
     """Phase spans (repro.obs) -> the flat (name, stamp) milestone timeline.
 

@@ -147,6 +147,51 @@ class EconomicsLedger:
         registry.gauge(f"{prefix}/total/wasted_warm_cpu_s").add(total.wasted_warm_cpu_s)
 
 
+#: The ledger fields published per function, split by metric kind — also
+#: the row shape :func:`rows_from_registry` reconstructs for the dashboard.
+_COUNTER_FIELDS = ("requests", "cold_starts", "warm_starts", "slo_hits")
+_GAUGE_FIELDS = (
+    "cold_penalty_s",
+    "wasted_warm_pod_s",
+    "wasted_warm_cpu_s",
+    "busy_pod_s",
+)
+
+
+def rows_from_registry(registry, prefix: str = "traffic") -> list[dict]:
+    """Reconstruct per-function economics rows from ``<prefix>/*`` metrics.
+
+    The inverse of :meth:`EconomicsLedger.publish`, used by the live
+    dashboard: it reads whatever a ledger (or accountant) has published
+    into a node's registry and renders it as sorted row dicts — purely a
+    read, so it is safe inside the passive observer hook. Functions with no
+    published metrics yield no rows; the ``total`` row comes last when
+    present.
+    """
+    per_fn: dict[str, dict] = {}
+    for name in registry.names():
+        parts = name.split("/")
+        if len(parts) != 3 or parts[0] != prefix:
+            continue
+        metric = registry.find(name)
+        _, fn, field_name = parts
+        if field_name in _COUNTER_FIELDS or field_name in _GAUGE_FIELDS:
+            row = per_fn.setdefault(fn, {"function": fn})
+            row[field_name] = metric.value
+    names = sorted(n for n in per_fn if n != "total")
+    if "total" in per_fn:
+        names.append("total")
+    rows = []
+    for fn in names:
+        row = per_fn[fn]
+        requests = row.get("requests", 0)
+        slo_hits = row.get("slo_hits", 0)
+        if requests:
+            row["slo_attainment"] = slo_hits / requests
+        rows.append(row)
+    return rows
+
+
 class DesTrafficAccountant:
     """Mirror a DES run's autoscaler accounting into ``traffic/*`` metrics.
 

@@ -96,3 +96,21 @@ def test_autoscaler_reads_registry_backed_signals():
     node.env.process(reporter(node.env))
     node.run(until=10.0)
     assert deployment.scale > 1  # scaled up from the reported concurrency
+
+
+def test_snapshot_lists_stale_functions_in_both_modes():
+    legacy, backed = both_servers()
+    for server in (legacy, backed):
+        snapshot = server.snapshot(now=6.0 + 31.0)  # fn-a stale, fn-b staler
+        assert snapshot["schema"] == "spright.autoscale/1"
+        assert snapshot["reports_received"] == len(SAMPLES)
+        rows = {row["function"]: row for row in snapshot["functions"]}
+        assert set(rows) == {"fn-a", "fn-b"}
+        # latest() hides stale functions; snapshot() shows them flagged.
+        assert rows["fn-a"]["stale"] and rows["fn-b"]["stale"]
+        assert rows["fn-a"]["request_rate"] == 12.0
+        fresh = server.snapshot(now=10.0)
+        assert not any(row["stale"] for row in fresh["functions"])
+        # Without a clock, staleness is unjudged (never flagged).
+        assert not any(row["stale"] for row in server.snapshot()["functions"])
+    assert legacy.snapshot(now=10.0) == backed.snapshot(now=10.0)

@@ -103,6 +103,51 @@ def test_render_openmetrics_sorted_and_deterministic():
     assert text == registry.render_openmetrics()
 
 
+def test_escape_label_value_per_spec():
+    """The OpenMetrics exposition format admits exactly three escapes in a
+    quoted label value — backslash, newline, quote — backslash first."""
+    from repro.obs.export import escape_label_value
+
+    assert escape_label_value("plain") == "plain"
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\nb") == "a\\nb"
+    assert escape_label_value("a\\b") == "a\\\\b"
+    # Backslash escapes first: a literal \n stays a literal \n, not a
+    # doubly-mangled newline escape.
+    assert escape_label_value("a\\nb") == "a\\\\nb"
+    assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+
+def test_render_openmetrics_with_labels_is_spec_shaped():
+    from repro.obs.export import render_openmetrics
+
+    registry = MetricsRegistry()
+    registry.counter("ops/kn/copy").incr(7)
+    registry.gauge("autoscale/fn/concurrency").set(3)
+    histogram = registry.histogram("lat", bounds=[0.001, 0.01])
+    histogram.observe(0.005)
+    text = render_openmetrics(
+        registry, labels={"node": 'work"er\\1', "zone": "a"}
+    )
+    # Label keys sorted, values escaped; le stays last on bucket lines.
+    assert 'spright_ops_kn_copy_total{node="work\\"er\\\\1",zone="a"} 7' in text
+    assert (
+        'spright_lat_bucket{node="work\\"er\\\\1",zone="a",le="0.01"} 1' in text
+    )
+    assert 'spright_lat_sum{node="work\\"er\\\\1",zone="a"}' in text
+    assert 'spright_lat_count{node="work\\"er\\\\1",zone="a"} 1' in text
+    assert text.endswith("# EOF\n")
+
+
+def test_render_openmetrics_unlabeled_matches_registry_method():
+    from repro.obs.export import render_openmetrics
+
+    registry = MetricsRegistry()
+    registry.counter("ops/kn/copy").incr(2)
+    registry.histogram("lat", bounds=[0.5]).observe(0.1)
+    assert render_openmetrics(registry) == registry.render_openmetrics()
+
+
 # -- legacy facade ------------------------------------------------------------
 
 def test_legacy_counters_match_stats_counter():
