@@ -38,7 +38,7 @@ from .workloads import ClosedLoopGenerator, WeightedMix, boutique, motion
 
 #: Bump when a PR re-lands the trajectory file; CI compares against the
 #: newest BENCH_<n>.json with n < PR_NUMBER.
-PR_NUMBER = 8
+PR_NUMBER = 9
 SCHEMA = "spright.bench/1"
 
 BENCH_PLANES = ("knative", "grpc", "s-spright", "d-spright", "lambda-nic")

@@ -17,6 +17,7 @@ Examples::
     spright-repro traffic --policies kpa pinned --patterns bursty
     spright-repro cluster --nodes 3 --placement all
     spright-repro cluster --planes s-spright lambda-nic --sanitize
+    spright-repro cloning --duration 20   # PS cloning lab: oracle + plane sweep
     spright-repro bench             # throughput trajectory vs last BENCH_*.json
     spright-repro all               # everything, at smoke-test scale
 
@@ -49,6 +50,7 @@ from .experiments import (
     ablations,
     audits,
     boutique_exp,
+    cloning_exp,
     cluster_exp,
     faults_exp,
     fig2,
@@ -191,6 +193,14 @@ def _cmd_cluster(args) -> str:
     return cluster_exp.format_report(sweep)
 
 
+def _cmd_cloning(args) -> str:
+    lab = cloning_exp.run_cloning_lab(
+        validation_duration=args.duration or 20.0,
+        sweep_duration=(args.duration or 20.0) * 0.3,
+    )
+    return cloning_exp.format_report(lab)
+
+
 def _cmd_bench(args) -> str:
     import json
     from pathlib import Path
@@ -239,6 +249,7 @@ COMMANDS = {
     "trace": _cmd_trace,
     "traffic": _cmd_traffic,
     "cluster": _cmd_cluster,
+    "cloning": _cmd_cloning,
     "bench": _cmd_bench,
     "all": _cmd_all,
 }

@@ -1,0 +1,30 @@
+"""Request-cloning lab: PS cloning analytics + the minimal DES harness.
+
+``analytic`` holds the closed forms (min-of-d service, M/G/1-PS response
+times, the cluster trade-off and its optimal clone factor); ``lab`` runs
+the stripped-down simulator that those forms describe exactly. The
+``spright-repro cloning`` experiment (repro.experiments.cloning_exp) uses
+both: validate DES vs oracle, then sweep clone factor x load x plane on
+the real dataplanes to find each plane's measured optimum.
+"""
+
+from .analytic import (
+    DISTRIBUTIONS,
+    cluster_response_time,
+    expected_min_service,
+    optimal_clone_factor,
+    ps_response_time,
+)
+from .lab import ARRIVAL_STREAM, LabResult, PsLabPlane, run_clone_point
+
+__all__ = [
+    "ARRIVAL_STREAM",
+    "DISTRIBUTIONS",
+    "LabResult",
+    "PsLabPlane",
+    "cluster_response_time",
+    "expected_min_service",
+    "optimal_clone_factor",
+    "ps_response_time",
+    "run_clone_point",
+]

@@ -1,0 +1,115 @@
+"""Closed-form oracle for synchronized request cloning under PS.
+
+The model ("Modeling of Request Cloning in Cloud Server Systems using
+Processor Sharing", PAPERS.md): every arriving request is cloned to ``d``
+processor-sharing servers, the copies carry i.i.d. service requirements,
+and the first copy to finish cancels the rest ("cancel-on-first-
+completion"). When every server receives every job (the synchronized
+``d``-of-``d`` form the lab reproduces), all servers see identical
+occupancy at all times, so the whole system is *exactly* equivalent to a
+single M/G/1-PS queue whose service requirement is
+
+    S_min = min(S_1, ..., S_d),   S_i i.i.d. copies of the service law.
+
+PS insensitivity then gives the mean response time from the mean alone:
+
+    T(lambda, d) = E[S_min] / (1 - lambda * E[S_min]).
+
+Everything interesting is in how E[S_min] scales with ``d``:
+
+* exponential service: E[S_min] = S / d — cloning keeps helping;
+* deterministic service: E[S_min] = S — cloning is pure waste.
+
+The cluster form spreads clone groups over ``n`` servers instead of all of
+them; each group then occupies ``d`` servers with S_min worth of work
+apiece, so the per-server load is ``rho = lambda * d * E[S_min] / n`` and
+the response time trades the min-of-d win against the d-fold load
+amplification — that trade-off is what produces a finite optimal ``d``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Service distributions the oracle has closed forms for.
+DISTRIBUTIONS = ("exp", "deterministic")
+
+
+def expected_min_service(mean: float, d: int, dist: str = "exp") -> float:
+    """E[min of ``d`` i.i.d. service times] with the given mean.
+
+    Exponential: the min of d exponentials(rate 1/S) is exponential with
+    rate d/S, so E[S_min] = S/d. Deterministic: every copy needs exactly S,
+    so the min is S regardless of d.
+    """
+    if mean < 0:
+        raise ValueError("mean service time must be non-negative")
+    if d < 1:
+        raise ValueError("clone factor d must be >= 1")
+    if dist == "exp":
+        return mean / d
+    if dist == "deterministic":
+        return mean
+    raise ValueError(f"no closed form for dist {dist!r}; choose from {DISTRIBUTIONS}")
+
+
+def ps_response_time(lam: float, mean: float, d: int, dist: str = "exp") -> float:
+    """Mean response time of the synchronized d-of-d cloning system.
+
+    Exact (not an approximation) for the all-servers form: equivalent
+    M/G/1-PS with service S_min. Returns ``inf`` when unstable
+    (``lambda * E[S_min] >= 1``).
+    """
+    if lam < 0:
+        raise ValueError("arrival rate must be non-negative")
+    smin = expected_min_service(mean, d, dist)
+    rho = lam * smin
+    if rho >= 1.0:
+        return math.inf
+    return smin / (1.0 - rho)
+
+
+def cluster_response_time(
+    lam: float, mean: float, d: int, n_servers: int, dist: str = "exp"
+) -> float:
+    """Mean response time when clone groups are spread over ``n`` servers.
+
+    Balanced-allocation form: each group puts S_min of work on each of its
+    ``d`` servers, so per-server utilization is
+    ``rho = lambda * d * E[S_min] / n`` and T = E[S_min] / (1 - rho).
+    Exact when ``d == n_servers`` (it degenerates to the all-servers form);
+    a mean-field approximation otherwise — good enough to rank clone
+    factors, which is all :func:`optimal_clone_factor` needs.
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be >= 1")
+    if d > n_servers:
+        raise ValueError("cannot clone to more servers than exist")
+    smin = expected_min_service(mean, d, dist)
+    rho = lam * d * smin / n_servers
+    if rho >= 1.0:
+        return math.inf
+    return smin / (1.0 - rho)
+
+
+def optimal_clone_factor(
+    lam: float,
+    mean: float,
+    n_servers: int,
+    dist: str = "exp",
+    max_d: int | None = None,
+) -> tuple[int, float]:
+    """(d*, T*) minimizing :func:`cluster_response_time` over 1..max_d.
+
+    For exponential service at low load the min-of-d effect dominates and
+    d* grows toward n; as load rises the d-fold amplification bites and d*
+    shrinks back to 1. For deterministic service d* is always 1 — the extra
+    copies add load and save nothing.
+    """
+    ceiling = n_servers if max_d is None else min(max_d, n_servers)
+    best_d, best_t = 1, cluster_response_time(lam, mean, 1, n_servers, dist)
+    for d in range(2, ceiling + 1):
+        t = cluster_response_time(lam, mean, d, n_servers, dist)
+        if t < best_t:
+            best_d, best_t = d, t
+    return best_d, best_t

@@ -85,6 +85,12 @@ class Request:
     # owns it, attached by Dataplane.submit when tracing is enabled.
     span: Optional[object] = None
     tracer: Optional[object] = None
+    # Synchronized cloning (repro.faults): pod instance ids already chosen
+    # by this request's clone group. The resilience controller creates the
+    # set and shares it with every clone, so pod pickers place the clones
+    # on pairwise-distinct pods. None (the default) disables the exclusion
+    # entirely — picks are byte-identical to pre-cloning builds.
+    claimed_pods: Optional[set] = None
 
     def enable_timeline(self) -> "Request":
         self.timeline = []
@@ -271,32 +277,38 @@ class Dataplane(abc.ABC):
         return f"{self.plane}/fn/{name}"
 
     # -- pod selection with cold-start handling -----------------------------------
-    def acquire_pod(self, function: str):
+    def acquire_pod(self, function: str, claimed: Optional[set] = None):
         """Generator: yields until a servable pod exists, returns the pod.
 
         A request that lands on a zero-scaled function triggers activation
         (scale from zero) and waits out the cold start — the Fig 11 path.
+        ``claimed`` is a clone group's claimed-pod set: the picker avoids
+        pods already in it and records the chosen pod, so synchronized
+        clones land on distinct pods. None (the default) changes nothing.
         """
         deployment = self.deployments[function]
-        pod = self.select_pod(deployment)
-        if pod is not None:
-            return pod
-        deployment.waiting += 1
-        try:
-            while pod is None:
-                if not deployment.live_pods():
-                    deployment.scale_to(1)
-                    deployment.note_cold_start()
-                    self.node.counters.incr(f"{self.plane}/cold_starts")
-                yield deployment.any_servable_event()
-                pod = self.select_pod(deployment)
-        finally:
-            deployment.waiting -= 1
+        pod = self.select_pod(deployment, claimed)
+        if pod is None:
+            deployment.waiting += 1
+            try:
+                while pod is None:
+                    if not deployment.live_pods():
+                        deployment.scale_to(1)
+                        deployment.note_cold_start()
+                        self.node.counters.incr(f"{self.plane}/cold_starts")
+                    yield deployment.any_servable_event()
+                    pod = self.select_pod(deployment, claimed)
+            finally:
+                deployment.waiting -= 1
+        if claimed is not None:
+            claimed.add(pod.instance_id)
         return pod
 
-    def select_pod(self, deployment: Deployment) -> Optional[Pod]:
+    def select_pod(
+        self, deployment: Deployment, exclude: Optional[set] = None
+    ) -> Optional[Pod]:
         """Default policy: round robin (Knative); SPRIGHT overrides."""
-        return deployment.pick_round_robin()
+        return deployment.pick_round_robin(exclude)
 
     # -- request execution ---------------------------------------------------------
     @abc.abstractmethod

@@ -116,7 +116,7 @@ class KnativeDataplane(Dataplane):
             yield from leg_localhost(queue_proxy.ops, len(payload), trace, stage)
             request.span_end(span)
 
-            pod = yield from self.acquire_pod(function_name)
+            pod = yield from self.acquire_pod(function_name, request.claimed_pods)
             request.mark(f"deliver:{function_name}", self.node.env.now)
             result = yield from pod.serve(payload)
             request.mark(f"served:{function_name}", self.node.env.now)

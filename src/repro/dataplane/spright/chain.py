@@ -423,7 +423,8 @@ class SprightChainRuntime:
             # The buffer was reclaimed (crashed owner) while this hop was
             # being prepared; the descriptor must not re-enter the chain.
             return False
-        pod = self.routing.pick_instance(function_name)
+        claimed = message.request.claimed_pods if message.request is not None else None
+        pod = self.routing.pick_instance(function_name, claimed)
         if pod is None and deployment is not None:
             deployment.waiting += 1
             try:
@@ -433,12 +434,14 @@ class SprightChainRuntime:
                         deployment.note_cold_start()
                         self.node.counters.incr(f"{self.plane}/cold_starts")
                     yield deployment.any_servable_event()
-                    pod = self.routing.pick_instance(function_name)
+                    pod = self.routing.pick_instance(function_name, claimed)
             finally:
                 deployment.waiting -= 1
         while pod is None:
             yield self.node.env.timeout(0.01)
-            pod = self.routing.pick_instance(function_name)
+            pod = self.routing.pick_instance(function_name, claimed)
+        if claimed is not None:
+            claimed.add(pod.instance_id)
         descriptor = PacketDescriptor(
             next_fn=pod.instance_id,
             shm_offset=message.handle.offset,

@@ -218,9 +218,9 @@ class _SprightBase(Dataplane):
         yield from self.submit(request)
         return request, ack
 
-    def select_pod(self, deployment):
+    def select_pod(self, deployment, exclude=None):
         """SPRIGHT load-balances by residual capacity (§3.2.3)."""
-        return deployment.pick_residual_capacity()
+        return deployment.pick_residual_capacity(exclude)
 
 
 class SSprightDataplane(_SprightBase):

@@ -69,7 +69,7 @@ class DfrRoutingTable:
             )
         return destination
 
-    def pick_instance(self, function: str) -> Optional[Pod]:
+    def pick_instance(self, function: str, exclude=None) -> Optional[Pod]:
         """Step 2 (LB): max residual service capacity among servable pods.
 
         Pods that stopped answering probes (hung, about to be marked down)
@@ -77,11 +77,20 @@ class DfrRoutingTable:
         responsive instances are candidates — otherwise a hung-but-healthy
         pod keeps winning on stale residual capacity and every retry/hedge
         lands back on it. Fault-free the filter is an exact no-op.
+
+        ``exclude`` is a clone group's claimed-pod set (see
+        ``Request.claimed_pods``): claimed instances are skipped so
+        synchronized clones land on distinct pods, falling back to the full
+        candidate list when every instance is claimed.
         """
         pods = [pod for pod in self._instances.get(function, []) if pod.is_servable]
         responsive = [pod for pod in pods if pod.responsive]
         if responsive:
             pods = responsive
+        if exclude:
+            unclaimed = [pod for pod in pods if pod.instance_id not in exclude]
+            if unclaimed:
+                pods = unclaimed
         if not pods:
             return None
         now = self.node.env.now

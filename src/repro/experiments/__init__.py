@@ -15,12 +15,14 @@
 | trace_exp     | traced runs (spans, OpenMetrics, flamegraphs) |
 | traffic_exp   | fleet-scale keep-alive economics (§4.2.2 at scale) |
 | cluster_exp   | multi-node placement + λ-NIC offload (§3.8) |
+| cloning_exp   | request-cloning lab: PS analytics validation + plane sweep |
 """
 
 from . import (
     ablations,
     audits,
     boutique_exp,
+    cloning_exp,
     cluster_exp,
     faults_exp,
     fig2,
@@ -37,6 +39,7 @@ __all__ = [
     "ablations",
     "audits",
     "boutique_exp",
+    "cloning_exp",
     "cluster_exp",
     "faults_exp",
     "fig2",

@@ -26,14 +26,20 @@ from .plans import NAMED_PLANS, load_plan
 from .resilience import (
     BACKOFF_STREAM,
     HEDGE_STREAM,
+    BreakerPermit,
     CircuitBreaker,
+    CloneCostModel,
     ResilienceController,
     ResiliencePolicy,
+    clone_cost_for_plane,
 )
 
 __all__ = [
     "BACKOFF_STREAM",
+    "BreakerPermit",
     "CircuitBreaker",
+    "CloneCostModel",
+    "clone_cost_for_plane",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",

@@ -15,15 +15,34 @@ This module is that something, shared by all four dataplane gateways:
   attempt is launched (à la "Modeling of Request Cloning in Cloud Server
   Systems using Processor Sharing", PAPERS.md); first completion wins and
   the losers are cancelled;
+* **synchronized cloning** — ``clone_factor=d`` launches *d* attempts at
+  dispatch time (not delay-triggered like hedging), each placed on a
+  distinct pod via the request's claimed-pod set; the first completion
+  wins, the losers are interrupted so shared-memory handles are freed by
+  their own cleanup paths and their processor-sharing capacity returns to
+  the survivors instantly. Each extra clone pays the plane's
+  :class:`CloneCostModel` — descriptor-only for the shared-memory SPRIGHT
+  planes, a full payload marshal for Knative/gRPC — which is what shifts
+  the optimal clone factor per plane (the ``spright-repro cloning`` lab);
 * **per-function circuit breaker** — ``breaker_threshold`` consecutive
   failures open the breaker for ``breaker_reset`` seconds, failing calls
   fast with ``kind="breaker_open"`` so a dead function cannot absorb the
-  whole retry budget. A single probe is admitted half-open.
+  whole retry budget. Half-open admits exactly one probe: admission hands
+  out a :class:`BreakerPermit`, and only the probe's own report (or a
+  result from the current generation) can move the breaker state — stale
+  results from attempts admitted before the trip are ignored.
 
 Everything is deterministic: jitter comes from named ``RandomStreams``, and
 with the default :class:`ResiliencePolicy` (no timeout, no retries, no
-hedging) the controller is never engaged, so fault-free runs make zero
-extra RNG draws and stay bit-identical to builds without this subsystem.
+hedging, no cloning) the controller is never engaged, so fault-free runs
+make zero extra RNG draws and stay bit-identical to builds without this
+subsystem.
+
+Default-policy guidance from the cloning lab (see EXPERIMENTS.md): with
+exponential-ish service variability, SPRIGHT planes should clone at the
+measured optimum (``clone_factor = d_opt``, descriptor cost model) while
+Knative/gRPC stay at ``clone_factor=1`` unless payloads are small — their
+per-clone marshal cost erases the min-of-d win at realistic sizes.
 """
 
 from __future__ import annotations
@@ -31,6 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from ..kernel.costs import CostModel, DEFAULT_COSTS
 from ..simcore import DeliveryError, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,6 +60,64 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: RNG stream names (module-level so tests and docs agree on the spelling)
 BACKOFF_STREAM = "resilience/backoff"
 HEDGE_STREAM = "resilience/hedge"
+
+
+@dataclass(frozen=True)
+class CloneCostModel:
+    """What dispatching one extra clone of a request costs the gateway.
+
+    The cost (seconds) is charged to gateway CPU *and* delays that clone's
+    dispatch — the primary attempt never pays it. ``kind`` is a label for
+    reports: ``"descriptor"`` (SPRIGHT: the payload already sits in shared
+    memory, a clone is one more 24-byte descriptor) vs ``"marshal"``
+    (Knative/gRPC: every clone re-serializes and copies the payload).
+    """
+
+    kind: str = "descriptor"
+    fixed: float = 0.0
+    per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fixed < 0 or self.per_byte < 0:
+            raise ValueError("clone costs must be non-negative")
+
+    def cost(self, nbytes: int) -> float:
+        return self.fixed + self.per_byte * nbytes
+
+
+def clone_cost_for_plane(
+    plane: str, costs: Optional[CostModel] = None
+) -> CloneCostModel:
+    """The calibrated per-plane clone cost, derived from the kernel model.
+
+    SPRIGHT planes clone by allocating a descriptor against the buffer
+    already in the shared-memory pool (pool get + ring enqueue/dequeue);
+    Knative clones re-serialize, copy, and re-parse the payload per clone;
+    gRPC skips the broker-side re-parse but still marshals.
+    """
+    costs = costs or DEFAULT_COSTS
+    name = plane.replace("-", "").lower()
+    if name in ("sspright", "dspright", "lambdanic", "spright"):
+        return CloneCostModel(
+            kind="descriptor",
+            fixed=costs.shm_pool_get + costs.ring_enqueue + costs.ring_dequeue,
+            per_byte=0.0,
+        )
+    if name in ("kn", "knative"):
+        return CloneCostModel(
+            kind="marshal",
+            fixed=costs.serialize_fixed + costs.deserialize_fixed + costs.copy_fixed,
+            per_byte=costs.serialize_per_byte
+            + costs.deserialize_per_byte
+            + costs.copy_per_byte,
+        )
+    if name == "grpc":
+        return CloneCostModel(
+            kind="marshal",
+            fixed=costs.serialize_fixed + costs.copy_fixed,
+            per_byte=costs.serialize_per_byte + costs.copy_per_byte,
+        )
+    raise KeyError(f"no clone cost model for plane {plane!r}")
 
 
 @dataclass(frozen=True)
@@ -60,6 +138,11 @@ class ResiliencePolicy:
     hedge_max: int = 1  # extra cloned attempts per round
     breaker_threshold: int = 0  # 0 = breaker disabled
     breaker_reset: float = 1.0  # open -> half-open cooldown
+    # Synchronized cloning: d attempts launched together at dispatch, on
+    # distinct pods, first completion wins. 1 = off. ``clone_cost`` prices
+    # the d-1 extra dispatches (see clone_cost_for_plane).
+    clone_factor: int = 1
+    clone_cost: Optional[CloneCostModel] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -70,6 +153,8 @@ class ResiliencePolicy:
             raise ValueError("hedge_delay must be positive")
         if not 0.0 <= self.backoff_jitter <= 1.0:
             raise ValueError("backoff_jitter must be within [0, 1]")
+        if self.clone_factor < 1:
+            raise ValueError("clone_factor must be >= 1")
 
     def enabled(self) -> bool:
         return (
@@ -77,6 +162,7 @@ class ResiliencePolicy:
             or self.retries > 0
             or self.hedge_delay is not None
             or self.breaker_threshold > 0
+            or self.clone_factor > 1
         )
 
     # -- deterministic delays (unit-testable without an Environment) ---------------
@@ -104,8 +190,32 @@ class ResiliencePolicy:
         )
 
 
+class BreakerPermit:
+    """Admission ticket from :meth:`CircuitBreaker.acquire`.
+
+    Carries which trip *generation* admitted the attempt and whether it is
+    the half-open probe — so a result reported after the breaker tripped
+    (or re-tripped) cannot corrupt the state machine.
+    """
+
+    __slots__ = ("generation", "probe")
+
+    def __init__(self, generation: int, probe: bool) -> None:
+        self.generation = generation
+        self.probe = probe
+
+
 class CircuitBreaker:
-    """Per-function consecutive-failure breaker (closed/open/half-open)."""
+    """Per-function consecutive-failure breaker (closed/open/half-open).
+
+    Hardened half-open semantics: when the cooldown expires, *exactly one*
+    probe is admitted no matter how many requests arrive concurrently at
+    that instant, and only that probe's report can close or re-open the
+    breaker. Results from attempts admitted before the trip carry an older
+    generation and are ignored — previously a stale failure cleared the
+    probe-in-flight flag (admitting a second probe) and a stale success
+    closed the breaker without any probe succeeding.
+    """
 
     def __init__(self, env, threshold: int, reset_after: float) -> None:
         self.env = env
@@ -114,43 +224,89 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at: Optional[float] = None
         self.trips = 0
+        self.generation = 0
+        self.probes_admitted = 0
         self._probe_inflight = False
+        # FIFO of permits handed out through the legacy allow() wrapper.
+        self._implicit: list[BreakerPermit] = []
 
-    def allow(self) -> bool:
-        if self.threshold <= 0 or self.opened_at is None:
-            return True
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
         if self.env.now - self.opened_at < self.reset_after:
-            return False
+            return "open"
+        return "half_open"
+
+    # -- permit API (what the controller uses) --------------------------------
+    def acquire(self) -> Optional[BreakerPermit]:
+        """Admit one attempt, or return None when the breaker refuses it."""
+        if self.threshold <= 0 or self.opened_at is None:
+            return BreakerPermit(self.generation, probe=False)
+        if self.env.now - self.opened_at < self.reset_after:
+            return None
         # half-open: admit exactly one probe until it reports back
         if self._probe_inflight:
-            return False
+            return None
         self._probe_inflight = True
-        return True
+        self.probes_admitted += 1
+        return BreakerPermit(self.generation, probe=True)
 
-    def record_success(self) -> None:
+    def on_success(self, permit: BreakerPermit) -> None:
+        if permit.probe:
+            self._probe_inflight = False
+            self.failures = 0
+            self.opened_at = None
+            return
+        if permit.generation != self.generation:
+            return  # stale pre-trip attempt: must not close an open breaker
         self.failures = 0
-        self.opened_at = None
-        self._probe_inflight = False
 
-    def record_failure(self) -> None:
-        self._probe_inflight = False
+    def on_failure(self, permit: BreakerPermit) -> None:
+        if permit.probe:
+            # The probe failed: stay open for a fresh cooldown window.
+            self._probe_inflight = False
+            self.opened_at = self.env.now
+            return
+        if permit.generation != self.generation:
+            return  # stale pre-trip attempt: the trip already accounted it
         self.failures += 1
         if self.threshold > 0 and self.failures >= self.threshold:
             if self.opened_at is None:
                 self.trips += 1
+                self.generation += 1
             self.opened_at = self.env.now
+
+    # -- legacy wrappers (sequential call sites and existing tests) ------------
+    def allow(self) -> bool:
+        permit = self.acquire()
+        if permit is None:
+            return False
+        self._implicit.append(permit)
+        return True
+
+    def record_success(self) -> None:
+        self.on_success(self._pop_implicit())
+
+    def record_failure(self) -> None:
+        self.on_failure(self._pop_implicit())
+
+    def _pop_implicit(self) -> BreakerPermit:
+        if self._implicit:
+            return self._implicit.pop(0)
+        return BreakerPermit(self.generation, probe=False)
 
 
 class _Attempt:
-    """Bookkeeping for one (possibly hedged) delivery attempt."""
+    """Bookkeeping for one delivery attempt (primary, hedge, or clone)."""
 
-    __slots__ = ("process", "request", "error", "done")
+    __slots__ = ("process", "request", "error", "done", "kind")
 
-    def __init__(self, request: "Request") -> None:
+    def __init__(self, request: "Request", kind: str = "primary") -> None:
         self.process = None
         self.request = request
         self.error: Optional[DeliveryError] = None
         self.done = False
+        self.kind = kind
 
 
 class ResilienceController:
@@ -198,7 +354,8 @@ class ResilienceController:
         last_error: Optional[DeliveryError] = None
 
         for attempt_no in range(policy.retries + 1):
-            if not breaker.allow():
+            permit = breaker.acquire()
+            if permit is None:
                 self.counters.incr("faults/resilience/breaker_fastfail")
                 request.mark("breaker:open", self.env.now)
                 last_error = DeliveryError("breaker_open", f"breaker open for {entry}")
@@ -210,10 +367,10 @@ class ResilienceController:
 
             error = yield from self._race(request, attempt_no)
             if error is None:
-                breaker.record_success()
+                breaker.on_success(permit)
                 return
             last_error = error
-            breaker.record_failure()
+            breaker.on_failure(permit)
             if not error.retryable:
                 break
 
@@ -234,7 +391,25 @@ class ResilienceController:
         timeline list, so ``hedge:*`` marks land on the visible request.
         """
         policy = self.policy
+        cloned = policy.clone_factor > 1
+        if cloned:
+            # Fresh claimed-pod set per round: the primary and every clone
+            # add their chosen pod, so clones land on distinct pods. Shadow
+            # requests share the set object (see _spawn_shadow).
+            request.claimed_pods = set()
         attempts = [self._spawn(request, attempt_no, hedge=0)]
+        for clone_index in range(1, policy.clone_factor):
+            self.counters.incr("cloning/clones")
+            request.mark(f"clone:launch:{clone_index}", self.env.now)
+            attempts.append(
+                self._spawn_shadow(
+                    request,
+                    attempt_no,
+                    clone_index,
+                    kind="clone",
+                    clone_cost=self._clone_cost(request),
+                )
+            )
         hedges_launched = 0
         deadline = (
             self.env.timeout(policy.timeout) if policy.timeout is not None else None
@@ -262,8 +437,14 @@ class ResilienceController:
                 self._cancel_losers(attempts, winner)
                 if winner.request is not request:
                     self._adopt(request, winner.request)
-                    request.mark("hedge:win", self.env.now)
-                    self.counters.incr("faults/resilience/hedge_win")
+                    if winner.kind == "clone":
+                        request.mark("clone:win", self.env.now)
+                        self.counters.incr("cloning/win_clone")
+                    else:
+                        request.mark("hedge:win", self.env.now)
+                        self.counters.incr("faults/resilience/hedge_win")
+                elif cloned:
+                    self.counters.incr("cloning/win_primary")
                 return None
             if deadline is not None and deadline.processed:
                 self._cancel_losers(attempts, None)
@@ -285,11 +466,30 @@ class ResilienceController:
                 return attempt.error
         return DeliveryError("crash", "all attempts failed without detail")
 
-    def _spawn(self, request: "Request", attempt_no: int, hedge: int) -> _Attempt:
-        attempt = _Attempt(request)
+    def _clone_cost(self, request: "Request") -> float:
+        if self.policy.clone_cost is None:
+            return 0.0
+        return self.policy.clone_cost.cost(len(request.payload))
+
+    def _spawn(
+        self,
+        request: "Request",
+        attempt_no: int,
+        hedge: int,
+        kind: str = "primary",
+        clone_cost: float = 0.0,
+    ) -> _Attempt:
+        attempt = _Attempt(request, kind=kind)
 
         def runner():
             try:
+                if clone_cost > 0.0:
+                    # The clone's marshal/descriptor cost: burns gateway CPU
+                    # and delays this clone's dispatch (the primary is free).
+                    tag = f"{getattr(self.plane, 'plane', 'plane')}/gw/clone"
+                    yield self.plane.node.cpu.execute(
+                        clone_cost, tag, op="clone_dispatch"
+                    )
                 yield from self.plane.deliver_once(request)
             except DeliveryError as error:
                 attempt.error = error
@@ -305,10 +505,17 @@ class ResilienceController:
         return attempt
 
     def _spawn_shadow(
-        self, request: "Request", attempt_no: int, hedge: int
+        self,
+        request: "Request",
+        attempt_no: int,
+        hedge: int,
+        kind: str = "hedge",
+        clone_cost: float = 0.0,
     ) -> _Attempt:
-        """Launch a hedge on a clone: same identity/timeline, no audit trace
-        (so kernel-op audits are not double-counted by cloned traversals)."""
+        """Launch a hedge/clone on a shadow: same identity/timeline, no audit
+        trace (so kernel-op audits are not double-counted by cloned
+        traversals). The shadow shares the claimed-pod set, so synchronized
+        clones land on pairwise-distinct pods."""
         from ..dataplane.base import Request
 
         shadow = Request(
@@ -318,7 +525,8 @@ class ResilienceController:
             trace=None,
         )
         shadow.timeline = request.timeline  # shared: marks land on the original
-        return self._spawn(shadow, attempt_no, hedge)
+        shadow.claimed_pods = request.claimed_pods
+        return self._spawn(shadow, attempt_no, hedge, kind=kind, clone_cost=clone_cost)
 
     def _winner(self, attempts: list[_Attempt]) -> Optional[_Attempt]:
         for attempt in attempts:
@@ -335,6 +543,10 @@ class ResilienceController:
             if attempt.process.is_alive:
                 attempt.process.interrupt("cancelled: raced out")
                 self.counters.incr("faults/resilience/cancelled")
+                if attempt.kind == "clone" or (
+                    winner is not None and winner.kind == "clone"
+                ):
+                    self.counters.incr("cloning/cancelled")
 
     def _adopt(self, request: "Request", shadow: "Request") -> None:
         """Copy a winning hedge's completion state onto the original."""

@@ -82,16 +82,29 @@ class Deployment:
         responsive = [pod for pod in servable if pod.responsive]
         return responsive if responsive else servable
 
-    def pick_round_robin(self) -> Optional[Pod]:
-        servable = self._routable_pods()
+    @staticmethod
+    def _unclaimed(pods: list[Pod], exclude) -> list[Pod]:
+        """Drop pods a clone group already claimed (see Request.claimed_pods).
+
+        Falls back to the full candidate list when every pod is claimed —
+        an over-wide clone factor degrades to sharing pods, never deadlock.
+        With ``exclude`` None or empty this is an exact no-op.
+        """
+        if not exclude:
+            return pods
+        unclaimed = [pod for pod in pods if pod.instance_id not in exclude]
+        return unclaimed if unclaimed else pods
+
+    def pick_round_robin(self, exclude=None) -> Optional[Pod]:
+        servable = self._unclaimed(self._routable_pods(), exclude)
         if not servable:
             return None
         self._round_robin = (self._round_robin + 1) % len(servable)
         return servable[self._round_robin]
 
-    def pick_residual_capacity(self) -> Optional[Pod]:
+    def pick_residual_capacity(self, exclude=None) -> Optional[Pod]:
         """§3.2.3: choose the pod with maximum residual service capacity."""
-        servable = self._routable_pods()
+        servable = self._unclaimed(self._routable_pods(), exclude)
         if not servable:
             return None
         now = self.node.env.now

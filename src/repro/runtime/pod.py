@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
-from ..simcore import DeliveryError, Event, Interrupt, Resource
+from ..simcore import DeliveryError, Event, Interrupt, PsServer, Resource
 from ..stats import SlidingWindowRate
 from .spec import FunctionResult, FunctionSpec
 
@@ -64,6 +64,15 @@ class Pod:
         self.responsive = True   # does the pod answer probes at all
         self.slowdown = 1.0      # service-time multiplier (fault injection)
         self._slots = Resource(node.env, capacity=spec.concurrency)
+        # Processor-sharing pods own a virtual-time PS queue instead of
+        # submitting to the calendar-queue CpuSet; busy time still lands in
+        # the node ledger so CPU% tables include them. FCFS pods (the
+        # default) never construct one — byte-identical to before.
+        self._ps: Optional[PsServer] = None
+        if spec.service_discipline == "ps":
+            self._ps = PsServer(
+                node.env, node.cpu.accounting, capacity=spec.ps_capacity
+            )
         self.in_flight = 0
         self.served = 0
         self.rate_window = SlidingWindowRate(window=5.0)
@@ -187,7 +196,20 @@ class Pod:
             if self.slowdown != 1.0:
                 service_time *= self.slowdown
             if service_time > 0:
-                yield self.node.cpu.execute(service_time, self.cpu_tag, op="service")
+                if self._ps is not None:
+                    job = self._ps.submit(service_time, self.cpu_tag)
+                    try:
+                        yield job.done
+                    except Interrupt:
+                        # Cancelled mid-service (raced out by a clone or
+                        # timed out): leave the PS queue immediately so the
+                        # freed share goes back to the surviving jobs.
+                        self._ps.cancel(job)
+                        raise
+                else:
+                    yield self.node.cpu.execute(
+                        service_time, self.cpu_tag, op="service"
+                    )
             if not self.healthy and not self.responsive:
                 # The pod crashed while this request was in flight; the
                 # work is lost and the caller sees a connection reset.
@@ -208,6 +230,11 @@ class Pod:
         if self.spec.service_time <= 0:
             return 0.0
         stream = stream_name or f"service/{self.spec.name}"
+        dist = self.spec.service_dist
+        if dist == "exp":
+            return self.node.rng.exponential(stream, self.spec.service_time)
+        if dist == "deterministic":
+            return self.spec.service_time
         return self.node.rng.lognormal_service(
             stream, self.spec.service_time, self.spec.service_time_cv
         )

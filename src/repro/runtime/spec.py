@@ -43,6 +43,16 @@ class FunctionSpec:
     name: str
     service_time: float = 0.0          # mean CPU seconds per request
     service_time_cv: float = 0.25      # lognormal coefficient of variation
+    # Service-time distribution: "lognormal" (default), "exp", or
+    # "deterministic" — the latter two are the regimes the PS cloning
+    # analysis (repro.cloning) has closed forms for.
+    service_dist: str = "lognormal"
+    # Service discipline at the pod: "fcfs" (default; work queues on the
+    # node's shared cores) or "ps" (processor sharing: concurrent requests
+    # split ``ps_capacity`` core-equivalents, stretching dynamically with
+    # occupancy — the model request cloning is analyzed under).
+    service_discipline: str = "fcfs"
+    ps_capacity: float = 1.0
     concurrency: int = 32              # per-pod parallel request limit
     min_scale: int = 1                 # 0 enables scale-to-zero
     max_scale: int = 10
@@ -69,6 +79,14 @@ class FunctionSpec:
             raise ValueError("concurrency must be positive")
         if self.min_scale < 0 or self.max_scale < max(1, self.min_scale):
             raise ValueError("invalid scale bounds")
+        if self.service_dist not in ("lognormal", "exp", "deterministic"):
+            raise ValueError(f"unknown service_dist {self.service_dist!r}")
+        if self.service_discipline not in ("fcfs", "ps"):
+            raise ValueError(
+                f"unknown service_discipline {self.service_discipline!r}"
+            )
+        if self.ps_capacity <= 0:
+            raise ValueError("ps_capacity must be positive")
 
 
 @dataclass

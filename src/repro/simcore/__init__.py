@@ -33,6 +33,7 @@ from .resources import (
     StorePut,
 )
 from .cpu import CpuAccounting, CpuSet, DedicatedCore
+from .ps import PsJob, PsServer
 from .rng import RandomStreams, derive_stream_seed
 
 __all__ = [
@@ -52,6 +53,8 @@ __all__ = [
     "PriorityItem",
     "PriorityStore",
     "Process",
+    "PsJob",
+    "PsServer",
     "RandomStreams",
     "Resource",
     "ResourceRequest",

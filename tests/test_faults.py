@@ -220,6 +220,69 @@ def test_circuit_breaker_trips_and_half_opens():
     assert breaker.allow()
 
 
+def test_half_open_admits_exactly_one_probe_under_concurrency():
+    """Regression: concurrent arrivals at the instant the cooldown expires
+    must admit exactly one probe, not one each."""
+    node = WorkerNode()
+    breaker = CircuitBreaker(node.env, threshold=1, reset_after=1.0)
+    breaker.on_failure(breaker.acquire())  # trips
+    assert breaker.state() == "open"
+    node.env._now = 1.0  # exactly at reset_after expiry
+    assert breaker.state() == "half_open"
+    permits = [breaker.acquire() for _ in range(5)]
+    admitted = [permit for permit in permits if permit is not None]
+    assert len(admitted) == 1 and admitted[0].probe
+    assert breaker.probes_admitted == 1
+    # the probe closing the breaker re-opens admission for everyone
+    breaker.on_success(admitted[0])
+    assert breaker.state() == "closed"
+    assert breaker.acquire() is not None
+
+
+def test_stale_results_cannot_corrupt_half_open_state():
+    """Regression: results from attempts admitted before the trip carry an
+    older generation — a stale failure used to clear the probe-in-flight
+    flag (admitting a second probe) and a stale success used to close the
+    breaker without any probe succeeding."""
+    node = WorkerNode()
+    breaker = CircuitBreaker(node.env, threshold=2, reset_after=1.0)
+    stale = breaker.acquire()  # in flight before the trip (generation 0)
+    breaker.on_failure(breaker.acquire())
+    breaker.on_failure(breaker.acquire())  # trips -> generation 1
+    assert breaker.trips == 1 and breaker.generation == 1
+    node.env._now = 2.0
+    probe = breaker.acquire()
+    assert probe is not None and probe.probe
+    # stale failure: probe slot stays occupied, no second probe
+    breaker.on_failure(stale)
+    assert breaker.acquire() is None
+    assert breaker.probes_admitted == 1
+    # stale success: the breaker must NOT close on it
+    breaker.on_success(stale)
+    assert breaker.state() == "half_open"
+    assert breaker.acquire() is None
+    # only the probe's own report resolves the half-open state
+    breaker.on_success(probe)
+    assert breaker.state() == "closed"
+
+
+def test_failed_probe_reopens_for_a_fresh_cooldown():
+    node = WorkerNode()
+    breaker = CircuitBreaker(node.env, threshold=1, reset_after=1.0)
+    breaker.on_failure(breaker.acquire())  # trips at t=0
+    node.env._now = 1.5
+    probe = breaker.acquire()
+    assert probe is not None and probe.probe
+    breaker.on_failure(probe)
+    # re-opened with a fresh window anchored at the probe's failure
+    assert breaker.state() == "open"
+    node.env._now = 2.4  # 1.0 s from the ORIGINAL trip would be long past
+    assert breaker.acquire() is None
+    node.env._now = 2.5
+    next_probe = breaker.acquire()
+    assert next_probe is not None and next_probe.probe
+
+
 class FlakyPlane:
     """Stub dataplane: fails the first N deliveries, then succeeds."""
 
