@@ -21,6 +21,13 @@ Examples::
     spright-repro bench             # throughput trajectory vs last BENCH_*.json
     spright-repro all               # everything, at smoke-test scale
 
+``run`` executes a declarative scenario file (byte-identical stdout to
+the equivalent flag invocation; see DESIGN.md "Scenario engine")::
+
+    spright-repro run scenarios/boutique-baseline.json
+    spright-repro run clone-sweep --set workload.duration=5
+    spright-repro run --validate-only scenarios/*.json scenarios/*.yaml
+
 Any command also accepts ``--trace``/``--profile``: the run executes with
 span tracing / CPU profiling on, and with ``--out`` the Perfetto trace
 JSON, OpenMetrics text, and folded flamegraph stacks are written next to
@@ -62,143 +69,116 @@ from .experiments import (
     traffic_exp,
     xdp_exp,
 )
-from .faults import load_plan
+from .faults import NAMED_PLANS
+
+# Each _cmd_* builds a config dict and delegates to the experiment module's
+# run_config entry point — the same entry point `spright-repro run <scenario>`
+# dispatches to, which is what keeps a scenario's stdout byte-identical to the
+# equivalent flag invocation.
 
 
 def _cmd_tables(_args) -> str:
-    return audits.format_report()
+    return audits.run_config()
 
 
 def _cmd_fig2(args) -> str:
-    return fig2.format_report(fig2.run_fig2(duration=args.duration or 5.0))
+    return fig2.run_config({"duration": args.duration or 5.0})
 
 
 def _cmd_fig5(args) -> str:
-    result = fig5.run_fig5(
-        max_concurrency=args.max_concurrency, duration=args.duration or 1.0
+    return fig5.run_config(
+        {
+            "max_concurrency": args.max_concurrency,
+            "duration": args.duration or 1.0,
+        }
     )
-    return fig5.format_report(result)
 
 
 def _cmd_boutique(args) -> str:
-    comparison = boutique_exp.BoutiqueComparison().run_all(
-        scale=args.scale, duration=args.duration or 60.0
-    )
-    return "\n\n".join(
-        [
-            boutique_exp.format_fig9(comparison, bucket=10.0),
-            boutique_exp.format_fig10(comparison),
-            boutique_exp.format_table5(comparison),
-        ]
+    return boutique_exp.run_config(
+        {"scale": args.scale, "duration": args.duration or 60.0}
     )
 
 
 def _cmd_motion(args) -> str:
-    runs = motion_exp.run_fig11(duration=args.duration or 3600.0)
-    return motion_exp.format_report(runs)
+    return motion_exp.run_config({"duration": args.duration or 3600.0})
 
 
 def _cmd_parking(args) -> str:
-    runs = parking_exp.run_fig12(duration=args.duration or 700.0)
-    return parking_exp.format_report(runs)
+    return parking_exp.run_config({"duration": args.duration or 700.0})
 
 
 def _cmd_xdp(args) -> str:
-    return xdp_exp.format_report(
-        xdp_exp.run_xdp_comparison(duration=args.duration or 2.0)
-    )
+    return xdp_exp.run_config({"duration": args.duration or 2.0})
 
 
 def _cmd_ablations(_args) -> str:
-    return ablations.format_report()
+    return ablations.run_config()
 
 
 def _cmd_faults(args) -> str:
-    plan = load_plan(args.fault_plan)
-    policy = faults_exp.default_policy(
-        retries=args.retries,
-        hedge_delay=args.hedge,
-        timeout=args.request_timeout,
-    )
-    results = faults_exp.run_resilience_suite(
-        fault_plan=plan,
-        policy=policy,
-        scale=args.scale,
-        boutique_duration=args.duration or 30.0,
-        motion_duration=(args.duration or 30.0) * 20,
-    )
-    return "\n\n".join(
-        [
-            faults_exp.format_resilience_table(results, plan_name=plan.name),
-            faults_exp.format_fault_counters(results),
-        ]
+    return faults_exp.run_config(
+        {
+            "fault_plan": args.fault_plan,
+            "retries": args.retries,
+            "hedge_delay": args.hedge,
+            "request_timeout": args.request_timeout,
+            "clone_factor": args.clone_factor,
+            "scale": args.scale,
+            "duration": args.duration or 30.0,
+        }
     )
 
 
 def _cmd_recovery(args) -> str:
-    results = recovery_exp.run_recovery_suite(
-        planes=args.planes or recovery_exp.ALL_PLANES,
-        scale=args.scale,
-        boutique_duration=args.duration or 30.0,
-        motion_duration=(args.duration or 30.0) * 20,
-        include_overload=not args.no_overload,
+    return recovery_exp.run_config(
+        {
+            "planes": args.planes,
+            "scale": args.scale,
+            "duration": args.duration or 30.0,
+            "include_overload": not args.no_overload,
+        }
     )
-    sections = [recovery_exp.format_availability_table(results)]
-    if not args.no_overload:
-        sections.append(recovery_exp.format_overload_comparison(results))
-    return "\n\n".join(sections)
 
 
 def _cmd_trace(args) -> str:
-    run = trace_exp.run_traced(
-        plane=args.plane,
-        workload=args.workload,
-        scale=args.scale,
-        duration=args.duration or 10.0,
+    return trace_exp.run_config(
+        {
+            "plane": args.plane,
+            "workload": args.workload,
+            "scale": args.scale,
+            "duration": args.duration or 10.0,
+            "out": args.out,
+        }
     )
-    report = trace_exp.format_trace_report(run)
-    if args.out:
-        from pathlib import Path
-
-        paths = trace_exp.write_trace_artifacts(run, Path(args.out))
-        report += "\n\nArtifacts:\n" + "\n".join(f"  {path}" for path in paths)
-    return report
 
 
 def _cmd_traffic(args) -> str:
-    lab = traffic_exp.run_traffic_lab(
-        planes=args.planes or traffic_exp.ALL_PLANES,
-        policies=args.policies or traffic_exp.ALL_POLICIES,
-        patterns=args.patterns or traffic_exp.ALL_PATTERNS,
-        functions=args.functions,
-        duration=args.duration or 14400.0,
-        processes=args.processes,
+    return traffic_exp.run_config(
+        {
+            "planes": args.planes,
+            "policies": args.policies,
+            "patterns": args.patterns,
+            "functions": args.functions,
+            "duration": args.duration or 14400.0,
+            "processes": args.processes,
+        }
     )
-    return traffic_exp.format_report(lab)
 
 
 def _cmd_cluster(args) -> str:
-    policies = (
-        cluster_exp.POLICIES
-        if args.placement == "all"
-        else (args.placement,)
+    return cluster_exp.run_config(
+        {
+            "planes": args.planes,
+            "nodes": args.nodes,
+            "placement": args.placement,
+            "duration": args.duration or 2.0,
+        }
     )
-    node_counts = (1, args.nodes) if args.nodes > 1 else (1,)
-    sweep = cluster_exp.run_cluster_sweep(
-        planes=args.planes or cluster_exp.CLUSTER_PLANES,
-        policies=policies,
-        node_counts=node_counts,
-        duration=args.duration or 2.0,
-    )
-    return cluster_exp.format_report(sweep)
 
 
 def _cmd_cloning(args) -> str:
-    lab = cloning_exp.run_cloning_lab(
-        validation_duration=args.duration or 20.0,
-        sweep_duration=(args.duration or 20.0) * 0.3,
-    )
-    return cloning_exp.format_report(lab)
+    return cloning_exp.run_config({"duration": args.duration or 20.0})
 
 
 def _cmd_bench(args) -> str:
@@ -321,6 +301,78 @@ def _serve(argv) -> int:
     return code
 
 
+def _run(argv) -> int:
+    """The ``run`` subcommand: execute or validate declarative scenarios."""
+    parser = argparse.ArgumentParser(
+        prog="spright-repro run",
+        description="Run a declarative scenario: "
+        "spright-repro run <scenario> [--set key=value ...]. A scenario is "
+        "a JSON or YAML file (or a bare name resolved under scenarios/) "
+        "whose output is byte-identical to the equivalent flag invocation.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="+",
+        metavar="SCENARIO",
+        help="scenario file path, or a bare name resolved under scenarios/",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one scenario key by dotted path (e.g. "
+        "workload.duration=5); resolution order is file < --set",
+    )
+    parser.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="parse + validate + resolve every scenario without running it",
+    )
+    args = parser.parse_args(argv)
+    from .scenario import ScenarioError, check_scenario, run_scenario
+
+    if args.validate_only:
+        failures = 0
+        for spec in args.scenarios:
+            errors = check_scenario(spec, overrides=args.overrides)
+            if errors:
+                failures += 1
+                for path, message in errors:
+                    print(f"{spec}: {path}: {message}")
+            else:
+                print(f"{spec}: ok")
+        return 1 if failures else 0
+    if len(args.scenarios) != 1:
+        parser.error(
+            "run executes exactly one scenario "
+            "(use --validate-only to check several at once)"
+        )
+    try:
+        _resolved, report = run_scenario(args.scenarios[0], overrides=args.overrides)
+    except ScenarioError as exc:
+        print(f"spright-repro run: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _clone_factor_arg(text: str):
+    """``--clone-factor``: an integer d, 'off', or 'optimal'."""
+    if text in ("optimal", "off"):
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, 'off', or 'optimal', got {text!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError("clone factor must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spright-repro",
@@ -343,9 +395,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan",
         type=str,
         default="loss-crash",
-        help="faults: named plan (loss-crash, lossy, crash-storm, crashy, "
-        "ring-pressure, map-churn), a JSON file path, or 'none' for an "
-        "empty plan",
+        help="faults: named plan ("
+        + ", ".join(sorted(NAMED_PLANS))
+        + "), a JSON file path, or 'none' for an empty plan",
+    )
+    parser.add_argument(
+        "--clone-factor",
+        type=_clone_factor_arg,
+        default="optimal",
+        metavar="D",
+        help="faults: synchronized request clones per attempt — an integer "
+        "d, 'off' (d=1 everywhere), or 'optimal' (the default: the "
+        "lab-measured per-plane optimum, d=2 on the shared-memory planes "
+        "and d=1 on knative/grpc)",
     )
     parser.add_argument(
         "--retries",
@@ -482,6 +544,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return _serve(argv[1:])
+    if argv and argv[0] == "run":
+        return _run(argv[1:])
     args = build_parser().parse_args(argv)
     if args.sanitize:
         set_default_sanitize(True)

@@ -190,3 +190,8 @@ def format_report() -> str:
         rows,
         title="Ablations of SPRIGHT design choices",
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro ablations``."""
+    return format_report()

@@ -70,3 +70,8 @@ def format_report() -> str:
             "within the chain)"
         ),
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro tables``."""
+    return format_report()

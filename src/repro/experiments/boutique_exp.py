@@ -102,9 +102,13 @@ def run_boutique(
 class BoutiqueComparison:
     runs: dict = field(default_factory=dict)
 
-    def run_all(self, scale: float = 0.1, duration: float = 60.0) -> "BoutiqueComparison":
+    def run_all(
+        self, scale: float = 0.1, duration: float = 60.0, seed: int = 2022
+    ) -> "BoutiqueComparison":
         for plane in ("knative", "grpc", "s-spright", "d-spright"):
-            self.runs[plane] = run_boutique(plane, scale=scale, duration=duration)
+            self.runs[plane] = run_boutique(
+                plane, scale=scale, duration=duration, seed=seed
+            )
         return self
 
     def table5(self) -> list[list]:
@@ -165,4 +169,21 @@ def format_fig10(comparison: BoutiqueComparison) -> str:
         ["plane", "chain", "count", "mean (ms)", "p95 (ms)"],
         rows,
         title="Fig 10: boutique per-chain latency + CPU",
+    )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro boutique``."""
+    config = dict(config or {})
+    comparison = BoutiqueComparison().run_all(
+        scale=config.get("scale", 0.1),
+        duration=config.get("duration", 60.0),
+        seed=config.get("seed", 2022),
+    )
+    return "\n\n".join(
+        [
+            format_fig9(comparison, bucket=10.0),
+            format_fig10(comparison),
+            format_table5(comparison),
+        ]
     )

@@ -234,3 +234,15 @@ def format_report(lab: CloningLab) -> str:
             format_verdicts(lab),
         ]
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro cloning``."""
+    config = dict(config or {})
+    duration = config.get("duration", 20.0)
+    lab = run_cloning_lab(
+        validation_duration=duration,
+        sweep_duration=config.get("sweep_duration", duration * 0.3),
+        seed=config.get("seed", 2022),
+    )
+    return format_report(lab)

@@ -315,3 +315,20 @@ def format_report(sweep: dict) -> str:
     return "\n\n".join(
         [table, probe_table, "\n".join(compute_verdicts(sweep))]
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro cluster``."""
+    config = dict(config or {})
+    placement = config.get("placement", "all")
+    policies = POLICIES if placement == "all" else (placement,)
+    nodes = config.get("nodes", 3)
+    node_counts = (1, nodes) if nodes > 1 else (1,)
+    sweep = run_cluster_sweep(
+        planes=tuple(config.get("planes") or CLUSTER_PLANES),
+        policies=policies,
+        node_counts=node_counts,
+        duration=config.get("duration", 2.0),
+        seed=config.get("seed", 2022),
+    )
+    return format_report(sweep)

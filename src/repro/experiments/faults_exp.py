@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..faults import FaultPlan, ResiliencePolicy, load_plan
+from ..faults import (
+    FaultPlan,
+    ResiliencePolicy,
+    default_resilience_for_plane,
+    load_plan,
+)
 from ..stats import format_table, percentile_cells_ms
 from ..workloads import boutique
 from .boutique_exp import SPAWN_RATES, USERS, knative_boutique_params
@@ -179,7 +184,12 @@ def default_policy(
     hedge_delay: Optional[float] = None,
     timeout: float = 1.0,
 ) -> ResiliencePolicy:
-    """The CLI's policy shape: timeout + retries, breaker armed, opt-in hedge."""
+    """The plane-agnostic policy shape: timeout + retries, breaker armed.
+
+    This never clones; the suite default is :func:`default_resilience_for_plane`
+    with ``clone_factor="optimal"``, which folds in the lab-measured per-plane
+    clone factor (d=2 on the shared-memory planes, d=1 elsewhere).
+    """
     return ResiliencePolicy(
         timeout=timeout,
         retries=retries,
@@ -197,19 +207,39 @@ def run_resilience_suite(
     boutique_duration: float = 30.0,
     motion_duration: float = 600.0,
     seed: int = 2022,
+    retries: int = 2,
+    hedge_delay: Optional[float] = None,
+    timeout: float = 1.0,
+    clone_factor="optimal",
 ) -> list[FaultRunResult]:
-    """Both workloads on every plane; the resilience table's row source."""
+    """Both workloads on every plane; the resilience table's row source.
+
+    Passing ``policy`` pins one explicit :class:`ResiliencePolicy` on every
+    plane. Without it, each plane gets its shipped default — retries +
+    breaker plus the measured-optimal clone factor for that plane
+    (``clone_factor`` accepts an int, ``"optimal"``, or ``"off"``).
+    """
     if fault_plan is None:
         fault_plan = load_plan("loss-crash")
-    if policy is None:
-        policy = default_policy()
+
+    def plane_policy(plane: str) -> ResiliencePolicy:
+        if policy is not None:
+            return policy
+        return default_resilience_for_plane(
+            plane,
+            retries=retries,
+            hedge_delay=hedge_delay,
+            timeout=timeout,
+            clone_factor=clone_factor,
+        )
+
     results = []
     for plane in planes:
         results.append(
             run_faults_boutique(
                 plane,
                 fault_plan=fault_plan,
-                policy=policy,
+                policy=plane_policy(plane),
                 scale=scale,
                 duration=boutique_duration,
                 seed=seed,
@@ -220,12 +250,43 @@ def run_resilience_suite(
             run_faults_motion(
                 plane,
                 fault_plan=fault_plan,
-                policy=policy,
+                policy=plane_policy(plane),
                 duration=motion_duration,
                 seed=seed,
             )
         )
     return results
+
+
+def run_config(config: Optional[dict] = None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro faults``."""
+    config = dict(config or {})
+    plan_spec = config.get("fault_plan", "loss-crash")
+    if isinstance(plan_spec, FaultPlan):
+        plan = plan_spec
+    elif isinstance(plan_spec, dict):
+        plan = FaultPlan.from_dict(plan_spec)
+    else:
+        plan = load_plan(plan_spec)
+    duration = config.get("duration", 30.0)
+    results = run_resilience_suite(
+        fault_plan=plan,
+        planes=tuple(config.get("planes", ALL_PLANES)),
+        scale=config.get("scale", 0.1),
+        boutique_duration=duration,
+        motion_duration=config.get("motion_duration", duration * 20),
+        seed=config.get("seed", 2022),
+        retries=config.get("retries", 2),
+        hedge_delay=config.get("hedge_delay"),
+        timeout=config.get("request_timeout", 1.0),
+        clone_factor=config.get("clone_factor", "optimal"),
+    )
+    return "\n\n".join(
+        [
+            format_resilience_table(results, plan_name=plan.name),
+            format_fault_counters(results),
+        ]
+    )
 
 
 def format_resilience_table(

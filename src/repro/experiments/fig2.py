@@ -91,3 +91,9 @@ def format_report(results: list[SidecarResult]) -> str:
         rows,
         title="Fig 2: sidecar proxy performance and overhead breakdown",
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro fig2``."""
+    config = dict(config or {})
+    return format_report(run_fig2(duration=config.get("duration", 5.0)))

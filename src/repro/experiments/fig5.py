@@ -121,3 +121,13 @@ def format_report(result: Fig5Result) -> str:
         rows,
         title="Fig 5: polling vs event-driven shared memory (2-fn chain)",
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro fig5``."""
+    config = dict(config or {})
+    result = run_fig5(
+        max_concurrency=config.get("max_concurrency", 512),
+        duration=config.get("duration", 1.0),
+    )
+    return format_report(result)

@@ -154,3 +154,12 @@ def format_report(runs: dict) -> str:
         rows,
         title="Fig 11: motion detection — cold start vs warm event-driven pods",
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro motion``."""
+    config = dict(config or {})
+    runs = run_fig11(
+        duration=config.get("duration", 3600.0), seed=config.get("seed", 2022)
+    )
+    return format_report(runs)

@@ -137,3 +137,12 @@ def format_report(runs: dict) -> str:
         rows,
         title=title,
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro parking``."""
+    config = dict(config or {})
+    runs = run_fig12(
+        duration=config.get("duration", 700.0), seed=config.get("seed", 2022)
+    )
+    return format_report(runs)

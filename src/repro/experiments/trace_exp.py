@@ -212,3 +212,23 @@ def write_trace_artifacts(run: TracedRun, directory) -> list:
         profiler=run.obs.profiler,
         basename=basename,
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro trace``."""
+    config = dict(config or {})
+    run = run_traced(
+        plane=config.get("plane", "s-spright"),
+        workload=config.get("workload", "boutique"),
+        scale=config.get("scale", 0.1),
+        duration=config.get("duration", 10.0),
+        seed=config.get("seed", 2022),
+    )
+    report = format_trace_report(run)
+    out = config.get("out")
+    if out:
+        from pathlib import Path
+
+        paths = write_trace_artifacts(run, Path(out))
+        report += "\n\nArtifacts:\n" + "\n".join(f"  {path}" for path in paths)
+    return report

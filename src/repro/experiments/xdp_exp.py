@@ -81,3 +81,9 @@ def format_report(comparison: dict) -> str:
     return format_table(
         ["external path", "RPS", "mean (ms)", "p95 (ms)", "GW CPU %"], rows, title=title
     )
+
+
+def run_config(config=None) -> str:
+    """Shared CLI/scenario entry point for ``spright-repro xdp``."""
+    config = dict(config or {})
+    return format_report(run_xdp_comparison(duration=config.get("duration", 2.0)))

@@ -26,12 +26,15 @@ from .plans import NAMED_PLANS, load_plan
 from .resilience import (
     BACKOFF_STREAM,
     HEDGE_STREAM,
+    MEASURED_OPTIMAL_CLONE_FACTOR,
     BreakerPermit,
     CircuitBreaker,
     CloneCostModel,
     ResilienceController,
     ResiliencePolicy,
     clone_cost_for_plane,
+    default_resilience_for_plane,
+    optimal_clone_factor,
 )
 
 __all__ = [
@@ -40,13 +43,16 @@ __all__ = [
     "CircuitBreaker",
     "CloneCostModel",
     "clone_cost_for_plane",
+    "default_resilience_for_plane",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
     "HEDGE_STREAM",
+    "MEASURED_OPTIMAL_CLONE_FACTOR",
     "NAMED_PLANS",
+    "optimal_clone_factor",
     "ResilienceController",
     "ResiliencePolicy",
     "load_plan",

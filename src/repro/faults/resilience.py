@@ -85,6 +85,63 @@ class CloneCostModel:
         return self.fixed + self.per_byte * nbytes
 
 
+#: Measured per-plane optimal synchronized-clone factor, from the PR 9
+#: cloning lab (EXPERIMENTS.md "Request-cloning lab"): the shared-memory
+#: planes keep winning from a second clone (descriptor-only dispatch, the
+#: payload never moves), while Knative/gRPC's per-clone marshal cost erases
+#: the min-of-d gain at realistic payload sizes, so their measured optimum
+#: stays d=1. This is the default the scenario schema's ``resilience``
+#: section ships (``clone_factor: optimal``).
+MEASURED_OPTIMAL_CLONE_FACTOR = {
+    "s-spright": 2,
+    "d-spright": 2,
+    "lambda-nic": 2,
+    "knative": 1,
+    "grpc": 1,
+}
+
+
+def optimal_clone_factor(plane: str) -> int:
+    """The lab-measured optimal clone factor for ``plane`` (1 = don't clone)."""
+    return MEASURED_OPTIMAL_CLONE_FACTOR.get(plane, 1)
+
+
+def default_resilience_for_plane(
+    plane: str,
+    retries: int = 2,
+    hedge_delay: Optional[float] = None,
+    timeout: Optional[float] = 1.0,
+    clone_factor="optimal",
+    breaker_threshold: int = 8,
+    breaker_reset: float = 2.0,
+    costs: Optional[CostModel] = None,
+) -> ResiliencePolicy:
+    """The default policy experiments ship for ``plane``.
+
+    ``clone_factor`` accepts an integer, ``"optimal"`` (the measured
+    per-plane optimum above — the default), or ``None``/``"off"`` (1).
+    Whenever the resolved factor clones, the plane's calibrated
+    :class:`CloneCostModel` is attached so every extra clone pays its real
+    dispatch cost.
+    """
+    if clone_factor in (None, "off"):
+        resolved = 1
+    elif clone_factor == "optimal":
+        resolved = optimal_clone_factor(plane)
+    else:
+        resolved = int(clone_factor)
+    cost = clone_cost_for_plane(plane, costs) if resolved > 1 else None
+    return ResiliencePolicy(
+        timeout=timeout,
+        retries=retries,
+        hedge_delay=hedge_delay,
+        breaker_threshold=breaker_threshold,
+        breaker_reset=breaker_reset,
+        clone_factor=resolved,
+        clone_cost=cost,
+    )
+
+
 def clone_cost_for_plane(
     plane: str, costs: Optional[CostModel] = None
 ) -> CloneCostModel:

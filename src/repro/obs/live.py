@@ -212,6 +212,11 @@ class LiveSink:
         self._latest: Optional[dict] = None
         self._swap = threading.Lock()
         self.snapshots_built = 0
+        self.scenario: Optional[str] = None
+
+    def set_scenario(self, name: Optional[str]) -> None:
+        """Name the running scenario; shown as a dashboard tile."""
+        self.scenario = name
 
     # -- attachment ----------------------------------------------------------
     def attach(self, bundle) -> None:
@@ -275,6 +280,7 @@ class LiveSink:
         self._derive_events(now)
         snapshot = {
             "schema": "spright.live/1",
+            "scenario": self.scenario,
             "now": now,
             "events_processed": sum(
                 env.events_processed for env in self._envs

@@ -1,0 +1,325 @@
+"""Scenario file parsing: strict JSON plus a minimal YAML subset.
+
+Zero new dependencies. ``.json`` files go through the stdlib ``json``
+module unchanged; ``.yaml``/``.yml`` files go through a deliberately
+small line-oriented parser covering the subset the scenario grammar
+needs:
+
+* mappings (``key: value``) nested by space indentation;
+* block lists (``- item``), including list items that open a mapping
+  (``- kind: pod_crash`` with continuation keys indented past the dash);
+* flow collections (``[a, b]``, ``{key: value}``) with JSON-ish nesting;
+* scalars: ``null``/``~``, ``true``/``false``, integers, floats
+  (including scientific notation), single-/double-quoted strings, and
+  bare strings;
+* full-line and trailing ``#`` comments (quote-aware).
+
+Anchors, aliases, multi-document streams, multi-line strings, and tabs
+are rejected with a :class:`ScenarioParseError` naming the line. The
+subset is regression-tested in ``tests/test_scenario.py``; scenario
+authors who need more structure can always write JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Optional
+
+from .schema import ScenarioError
+
+
+class ScenarioParseError(ScenarioError):
+    """A scenario file could not be parsed; carries file/line context."""
+
+    def __init__(self, message: str, line: Optional[int] = None, source: str = ""):
+        self.line = line
+        self.source = source
+        where = source or "scenario"
+        if line is not None:
+            where += f":{line}"
+        super().__init__(f"{where}: {message}")
+
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_KEY_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+def parse_scalar(text: str):
+    """One YAML-subset scalar (already stripped, comments removed)."""
+    if text in ("null", "~", ""):
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text) and text not in ("+", "-"):
+        return float(text)
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        if text[0] == '"':
+            try:
+                return json.loads(text)
+            except json.JSONDecodeError:
+                raise ScenarioParseError(f"bad double-quoted string {text}")
+        return text[1:-1].replace("''", "'")
+    return text
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment, respecting quoted strings."""
+    quote = None
+    for index, char in enumerate(line):
+        if quote:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "#" and (index == 0 or line[index - 1] in (" ", "\t")):
+            return line[:index].rstrip()
+    return line.rstrip()
+
+
+def _parse_flow(text: str, lineno: int, source: str):
+    """A flow collection or scalar: ``[..]``, ``{..}``, or one scalar."""
+    text = text.strip()
+    if not text.startswith(("[", "{")):
+        return parse_scalar(text)
+    value, rest = _parse_flow_value(text, lineno, source)
+    if rest.strip():
+        raise ScenarioParseError(
+            f"trailing characters after flow collection: {rest.strip()!r}",
+            lineno,
+            source,
+        )
+    return value
+
+
+def _parse_flow_value(text: str, lineno: int, source: str):
+    text = text.lstrip()
+    if not text:
+        raise ScenarioParseError("empty flow value", lineno, source)
+    if text[0] == "[":
+        items, rest = [], text[1:].lstrip()
+        while True:
+            if not rest:
+                raise ScenarioParseError("unterminated '['", lineno, source)
+            if rest[0] == "]":
+                return items, rest[1:]
+            value, rest = _parse_flow_value(rest, lineno, source)
+            items.append(value)
+            rest = rest.lstrip()
+            if rest.startswith(","):
+                rest = rest[1:].lstrip()
+            elif not rest.startswith("]"):
+                raise ScenarioParseError(
+                    "expected ',' or ']' in flow list", lineno, source
+                )
+    if text[0] == "{":
+        mapping, rest = {}, text[1:].lstrip()
+        while True:
+            if not rest:
+                raise ScenarioParseError("unterminated '{'", lineno, source)
+            if rest[0] == "}":
+                return mapping, rest[1:]
+            colon = _find_flow_colon(rest, lineno, source)
+            key = parse_scalar(rest[:colon].strip())
+            value, rest = _parse_flow_value(rest[colon + 1 :], lineno, source)
+            mapping[key] = value
+            rest = rest.lstrip()
+            if rest.startswith(","):
+                rest = rest[1:].lstrip()
+            elif not rest.startswith("}"):
+                raise ScenarioParseError(
+                    "expected ',' or '}' in flow mapping", lineno, source
+                )
+    if text[0] in ("'", '"'):
+        quote = text[0]
+        index = 1
+        while index < len(text):
+            if text[index] == quote:
+                return parse_scalar(text[: index + 1]), text[index + 1 :]
+            index += 1
+        raise ScenarioParseError("unterminated quoted string", lineno, source)
+    # bare scalar: runs to the next structural character
+    index = 0
+    while index < len(text) and text[index] not in ",]}":
+        index += 1
+    return parse_scalar(text[:index].strip()), text[index:]
+
+
+def _find_flow_colon(text: str, lineno: int, source: str) -> int:
+    quote = None
+    for index, char in enumerate(text):
+        if quote:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == ":":
+            return index
+        elif char in ",]}":
+            break
+    raise ScenarioParseError("expected 'key: value' in flow mapping", lineno, source)
+
+
+class _MiniYaml:
+    """Line-oriented recursive-descent parser for the YAML subset."""
+
+    def __init__(self, text: str, source: str):
+        self.source = source
+        self.lines: list[tuple[int, str, int]] = []  # (indent, content, lineno)
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+                raise ScenarioParseError(
+                    "tabs are not allowed in indentation", lineno, source
+                )
+            stripped = _strip_comment(raw)
+            if not stripped.strip():
+                continue
+            if stripped.strip() in ("---", "..."):
+                raise ScenarioParseError(
+                    "multi-document YAML is not supported", lineno, source
+                )
+            indent = len(stripped) - len(stripped.lstrip(" "))
+            self.lines.append((indent, stripped.strip(), lineno))
+        self.index = 0
+
+    def parse(self):
+        if not self.lines:
+            raise ScenarioParseError("empty scenario file", None, self.source)
+        value = self._parse_block(self.lines[0][0])
+        if self.index < len(self.lines):
+            indent, _, lineno = self.lines[self.index]
+            raise ScenarioParseError(
+                f"unexpected dedent/indent (column {indent})", lineno, self.source
+            )
+        return value
+
+    # -- block parsing --------------------------------------------------------
+    def _peek(self):
+        return self.lines[self.index] if self.index < len(self.lines) else None
+
+    def _parse_block(self, indent: int):
+        entry = self._peek()
+        assert entry is not None
+        if entry[1] == "-" or entry[1].startswith("- "):
+            return self._parse_list(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_list(self, indent: int) -> list:
+        items = []
+        while True:
+            entry = self._peek()
+            if entry is None or entry[0] != indent:
+                if entry is not None and entry[0] > indent:
+                    raise ScenarioParseError(
+                        "unexpected indentation inside list", entry[2], self.source
+                    )
+                return items
+            _, content, lineno = entry
+            if not (content == "-" or content.startswith("- ")):
+                raise ScenarioParseError(
+                    "expected a '-' list item", lineno, self.source
+                )
+            rest = content[1:].strip()
+            self.index += 1
+            if not rest:
+                nxt = self._peek()
+                if nxt is not None and nxt[0] > indent:
+                    items.append(self._parse_block(nxt[0]))
+                else:
+                    items.append(None)
+            elif _is_mapping_line(rest):
+                # "- key: value": the item is a mapping whose first line is
+                # the remainder; continuation keys sit indented past the dash.
+                self.lines.insert(self.index, (indent + 2, rest, lineno))
+                items.append(self._parse_mapping(indent + 2))
+            else:
+                items.append(_parse_flow(rest, lineno, self.source))
+
+    def _parse_mapping(self, indent: int) -> dict:
+        mapping: dict = {}
+        while True:
+            entry = self._peek()
+            if entry is None or entry[0] < indent:
+                return mapping
+            if entry[0] > indent:
+                raise ScenarioParseError(
+                    "unexpected indentation", entry[2], self.source
+                )
+            _, content, lineno = entry
+            if content == "-" or content.startswith("- "):
+                return mapping
+            key, rest = _split_mapping_line(content, lineno, self.source)
+            if key in mapping:
+                raise ScenarioParseError(
+                    f"duplicate key {key!r}", lineno, self.source
+                )
+            self.index += 1
+            if rest:
+                mapping[key] = _parse_flow(rest, lineno, self.source)
+            else:
+                nxt = self._peek()
+                if nxt is not None and nxt[0] > indent:
+                    mapping[key] = self._parse_block(nxt[0])
+                else:
+                    mapping[key] = None
+
+
+def _is_mapping_line(text: str) -> bool:
+    if text.startswith(("[", "{", "'", '"')):
+        return False
+    colon = text.find(":")
+    if colon <= 0:
+        return False
+    after = text[colon + 1 :]
+    return after == "" or after.startswith(" ")
+
+
+def _split_mapping_line(content: str, lineno: int, source: str):
+    if not _is_mapping_line(content):
+        raise ScenarioParseError(
+            f"expected 'key: value', got {content!r}", lineno, source
+        )
+    colon = content.find(":")
+    key = content[:colon].strip()
+    if not _KEY_RE.match(key):
+        raise ScenarioParseError(f"invalid key {key!r}", lineno, source)
+    return key, content[colon + 1 :].strip()
+
+
+def parse_yaml(text: str, source: str = "scenario") -> dict:
+    """Parse the YAML subset; the top level must be a mapping."""
+    value = _MiniYaml(text, source).parse()
+    if not isinstance(value, dict):
+        raise ScenarioParseError(
+            "top-level scenario value must be a mapping", None, source
+        )
+    return value
+
+
+def parse_json(text: str, source: str = "scenario") -> dict:
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioParseError(exc.msg, exc.lineno, source) from exc
+    if not isinstance(value, dict):
+        raise ScenarioParseError(
+            "top-level scenario value must be an object", None, source
+        )
+    return value
+
+
+def parse_scenario_text(text: str, source: str = "scenario") -> dict:
+    """Dispatch on extension; unknown extensions sniff the first character."""
+    lowered = source.lower()
+    if lowered.endswith(".json"):
+        return parse_json(text, source)
+    if lowered.endswith((".yaml", ".yml")):
+        return parse_yaml(text, source)
+    if text.lstrip().startswith("{"):
+        return parse_json(text, source)
+    return parse_yaml(text, source)

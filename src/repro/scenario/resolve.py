@@ -1,0 +1,356 @@
+"""Resolution: validated scenario document -> experiment entry-point config.
+
+A scenario names one experiment family (the same set the flag CLI
+exposes) and composes sections — workload, planes, cluster topology,
+fault plan, resilience/cloning policy, keep-alive policy, admission/SLO
+targets, observability. This module:
+
+* checks cross-field consistency the shape schema cannot (a ``keepalive``
+  section on a ``boutique`` scenario, two planes on a ``trace`` scenario,
+  a custom seed on a fixed-seed experiment), with the same
+  JSON-pointer-style error paths as the validator;
+* applies ``--set key=value`` overrides (resolution order: file <
+  overrides; conflicting or type-confused overrides are typed errors);
+* derives the deterministic per-scenario seed (``seed: auto`` hashes the
+  scenario *name*, so renaming a scenario is the only way to change its
+  draw sequence);
+* emits the exact config dict the experiment's ``run_config`` entry point
+  consumes — the same entry point the flag CLI calls, which is what makes
+  a scenario's output byte-identical to the equivalent flag invocation.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .parser import ScenarioParseError, _parse_flow, parse_scalar
+from .schema import (
+    ScenarioOverrideError,
+    ScenarioValidationError,
+    validate_scenario,
+)
+
+#: The repo-wide legacy seed: what every experiment defaults to, and what
+#: the flag CLI cannot change — scenarios that must stay byte-identical to
+#: a flag invocation pin (or default to) this.
+LEGACY_SEED = 2022
+
+#: Experiments whose runners accept a seed; the rest bake LEGACY_SEED in.
+SEEDABLE = (
+    "boutique",
+    "motion",
+    "parking",
+    "faults",
+    "recovery",
+    "trace",
+    "traffic",
+    "cluster",
+    "cloning",
+)
+
+
+def derive_seed(name: str) -> int:
+    """Deterministic 31-bit seed from the scenario name (sha256-based)."""
+    digest = hashlib.sha256(f"spright.scenario:{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+@dataclass
+class ResolvedScenario:
+    """A runnable scenario: experiment + canonical config + run options."""
+
+    name: str
+    experiment: str
+    config: dict
+    seed: int
+    observability: dict = field(default_factory=dict)
+    description: str = ""
+    doc: dict = field(default_factory=dict)
+
+
+# -- section plumbing ----------------------------------------------------------
+def _fail(path: str, message: str):
+    raise ScenarioValidationError(path, message)
+
+
+def _workload(doc: dict) -> dict:
+    return doc.get("workload") or {}
+
+
+def _expect_kind(doc: dict, *allowed: str) -> Optional[str]:
+    kind = _workload(doc).get("kind")
+    if kind is not None and kind not in allowed:
+        _fail(
+            "/workload/kind",
+            f"{kind!r} does not run under experiment "
+            f"{doc['experiment']!r} (expected {' or '.join(map(repr, allowed))})",
+        )
+    return kind
+
+
+def _take(cfg: dict, section: dict, *keys: str, rename: Optional[dict] = None):
+    rename = rename or {}
+    for key in keys:
+        if key in section:
+            cfg[rename.get(key, key)] = section[key]
+
+
+def _resolve_tables(doc: dict) -> dict:
+    return {}
+
+
+def _resolve_fig2(doc: dict) -> dict:
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "duration")
+    return cfg
+
+
+def _resolve_fig5(doc: dict) -> dict:
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "duration", "max_concurrency")
+    return cfg
+
+
+def _resolve_boutique(doc: dict) -> dict:
+    _expect_kind(doc, "boutique")
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "scale", "duration")
+    return cfg
+
+
+def _resolve_motion(doc: dict) -> dict:
+    _expect_kind(doc, "motion")
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "duration")
+    return cfg
+
+
+def _resolve_parking(doc: dict) -> dict:
+    _expect_kind(doc, "parking")
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "duration")
+    return cfg
+
+
+def _resolve_xdp(doc: dict) -> dict:
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "duration")
+    return cfg
+
+
+def _resolve_ablations(doc: dict) -> dict:
+    return {}
+
+
+def _resolve_faults(doc: dict) -> dict:
+    _expect_kind(doc, "boutique")
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "scale", "duration")
+    if "planes" in doc:
+        cfg["planes"] = tuple(doc["planes"])
+    faults = doc.get("faults") or {}
+    if "plan" in faults:
+        cfg["fault_plan"] = faults["plan"]
+    resilience = doc.get("resilience") or {}
+    _take(
+        cfg,
+        resilience,
+        "retries",
+        "hedge_delay",
+        "clone_factor",
+        "timeout",
+        rename={"timeout": "request_timeout"},
+    )
+    return cfg
+
+
+def _resolve_recovery(doc: dict) -> dict:
+    _expect_kind(doc, "boutique")
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "scale", "duration")
+    if "planes" in doc:
+        cfg["planes"] = tuple(doc["planes"])
+    admission = doc.get("admission") or {}
+    if "overload" in admission:
+        cfg["include_overload"] = admission["overload"]
+    return cfg
+
+
+def _resolve_trace(doc: dict) -> dict:
+    kind = _expect_kind(doc, "boutique", "motion")
+    cfg: dict = {}
+    if kind is not None:
+        cfg["workload"] = kind
+    _take(cfg, _workload(doc), "scale", "duration")
+    planes = doc.get("planes")
+    if planes is not None:
+        if len(planes) != 1:
+            _fail("/planes", "experiment 'trace' runs exactly one plane")
+        if planes[0] == "lambda-nic":
+            _fail("/planes/0", "experiment 'trace' does not support 'lambda-nic'")
+        cfg["plane"] = planes[0]
+    return cfg
+
+
+def _resolve_traffic(doc: dict) -> dict:
+    _expect_kind(doc, "synthetic-fleet")
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "functions", "duration", "processes")
+    if "planes" in doc:
+        cfg["planes"] = tuple(doc["planes"])
+    keepalive = doc.get("keepalive") or {}
+    if "policies" in keepalive:
+        cfg["policies"] = tuple(keepalive["policies"])
+    if "patterns" in keepalive:
+        cfg["patterns"] = tuple(keepalive["patterns"])
+    slo = doc.get("slo") or {}
+    if "threshold_s" in slo:
+        cfg["slo_threshold"] = slo["threshold_s"]
+    return cfg
+
+
+def _resolve_cluster(doc: dict) -> dict:
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "duration")
+    if "planes" in doc:
+        cfg["planes"] = tuple(doc["planes"])
+    cluster = doc.get("cluster") or {}
+    _take(cfg, cluster, "nodes", "placement")
+    return cfg
+
+
+def _resolve_cloning(doc: dict) -> dict:
+    cfg: dict = {}
+    _take(cfg, _workload(doc), "duration")
+    return cfg
+
+
+#: Per-experiment contract: which optional sections it consumes, and the
+#: resolver producing its run_config() dict. Sections outside the allowed
+#: set are rejected with a path — a keepalive block on a boutique scenario
+#: is a bug in the scenario, not dead weight to carry silently.
+EXPERIMENT_SPECS = {
+    "tables": ((), _resolve_tables),
+    "fig2": (("workload",), _resolve_fig2),
+    "fig5": (("workload",), _resolve_fig5),
+    "boutique": (("workload",), _resolve_boutique),
+    "motion": (("workload",), _resolve_motion),
+    "parking": (("workload",), _resolve_parking),
+    "xdp": (("workload",), _resolve_xdp),
+    "ablations": ((), _resolve_ablations),
+    "faults": (("workload", "planes", "faults", "resilience"), _resolve_faults),
+    "recovery": (("workload", "planes", "admission"), _resolve_recovery),
+    "trace": (("workload", "planes"), _resolve_trace),
+    "traffic": (("workload", "planes", "keepalive", "slo"), _resolve_traffic),
+    "cluster": (("workload", "planes", "cluster"), _resolve_cluster),
+    "cloning": (("workload",), _resolve_cloning),
+}
+
+#: Sections every scenario may carry regardless of experiment.
+_UNIVERSAL_SECTIONS = (
+    "schema",
+    "name",
+    "description",
+    "experiment",
+    "seed",
+    "observability",
+)
+
+
+def resolve(doc: dict) -> ResolvedScenario:
+    """Validate + cross-check + flatten one scenario document."""
+    validate_scenario(doc)
+    experiment = doc["experiment"]
+    allowed, resolver = EXPERIMENT_SPECS[experiment]
+    for section in doc:
+        if section not in _UNIVERSAL_SECTIONS and section not in allowed:
+            _fail(
+                f"/{section}",
+                f"section not consumed by experiment {experiment!r} "
+                f"(allowed: {', '.join(allowed) or 'none'})",
+            )
+
+    seed_spec = doc.get("seed", LEGACY_SEED)
+    seed = derive_seed(doc["name"]) if seed_spec == "auto" else int(seed_spec)
+    config = resolver(doc)
+    if experiment in SEEDABLE:
+        config["seed"] = seed
+    elif seed != LEGACY_SEED:
+        _fail(
+            "/seed",
+            f"experiment {experiment!r} runs at the fixed seed "
+            f"{LEGACY_SEED}; drop the seed key or pin it to {LEGACY_SEED}",
+        )
+
+    return ResolvedScenario(
+        name=doc["name"],
+        experiment=experiment,
+        config=config,
+        seed=seed,
+        observability=dict(doc.get("observability") or {}),
+        description=doc.get("description", ""),
+        doc=doc,
+    )
+
+
+# -- --set overrides -----------------------------------------------------------
+def _parse_override_value(key: str, raw: str):
+    raw = raw.strip()
+    try:
+        return _parse_flow(raw, None, f"--set {key}") if raw.startswith(("[", "{")) else parse_scalar(raw)
+    except ScenarioParseError as exc:
+        raise ScenarioOverrideError(key, f"unparseable value {raw!r}") from exc
+
+
+def apply_overrides(doc: dict, assignments) -> dict:
+    """Return a deep-copied document with ``--set key=value`` merged in.
+
+    Resolution order is **file < overrides**. Typed failure modes:
+
+    * no ``=`` or an empty key — malformed override;
+    * the same dotted path set twice — conflicting overrides;
+    * one override path nested under another (``faults`` *and*
+      ``faults.plan``) — conflicting overrides;
+    * a path segment that traverses a non-mapping value — type conflict,
+      reported with the JSON-pointer of the scalar it hit.
+    """
+    doc = copy.deepcopy(doc)
+    seen: dict[tuple, str] = {}
+    for raw in assignments or ():
+        key, eq, value_text = raw.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise ScenarioOverrideError(raw, "override must look like section.key=value")
+        parts = tuple(key.split("."))
+        if any(not part for part in parts):
+            raise ScenarioOverrideError(key, "override path has an empty segment")
+        for other in seen:
+            if parts == other:
+                raise ScenarioOverrideError(
+                    key, f"conflicting override: {key!r} is already set"
+                )
+            overlap = parts[: len(other)] == other or other[: len(parts)] == parts
+            if overlap:
+                raise ScenarioOverrideError(
+                    key,
+                    f"conflicting override: nested under or above "
+                    f"{'.'.join(other)!r}",
+                )
+        seen[parts] = value_text
+        value = _parse_override_value(key, value_text)
+        target = doc
+        for depth, part in enumerate(parts[:-1]):
+            existing = target.get(part)
+            if existing is None:
+                existing = target[part] = {}
+            if not isinstance(existing, dict):
+                pointer = "/" + "/".join(parts[: depth + 1])
+                raise ScenarioOverrideError(
+                    key, f"cannot descend into non-mapping value at {pointer}"
+                )
+            target = existing
+        target[parts[-1]] = value
+    return doc
